@@ -1,0 +1,197 @@
+// Ablation A1 — RTE communication semantics (DESIGN.md "RTE generation"
+// design choice).
+//
+// Why does the RTE offer implicit access and queued elements at all? This
+// ablation quantifies what each semantic buys:
+//
+//  (a) consistency: a producer atomically writes a pair (x, x*x) every 2 ms;
+//      a slow 10 ms consumer task runs two runnables — the first samples x,
+//      the second (after 5 ms of preemptible execution) samples x*x and
+//      checks the pair. With explicit access the two samples straddle
+//      producer updates and observe torn pairs; with implicit access the
+//      task-start snapshot makes torn pairs impossible.
+//  (b) losslessness: a 5 ms producer feeds a 20 ms consumer. A last-is-best
+//      element drops 3 of 4 updates by design; a queued element delivers
+//      every one.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+#include "vfb/model.hpp"
+#include "vfb/rte.hpp"
+#include "vfb/system.hpp"
+
+using namespace orte;
+using sim::microseconds;
+using sim::milliseconds;
+
+namespace {
+
+struct ConsistencyResult {
+  std::uint64_t reads = 0;
+  std::uint64_t torn = 0;
+};
+
+ConsistencyResult run_consistency(vfb::DataAccessKind read_kind) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  vfb::Composition comp;
+  vfb::PortInterface ipair;
+  ipair.name = "IPair";
+  ipair.elements.push_back(vfb::DataElement{"x", 32, 0, false});
+  ipair.elements.push_back(vfb::DataElement{"xx", 64, 0, false});
+  comp.add_interface(ipair);
+
+  vfb::Runnable produce;
+  produce.name = "produce";
+  produce.trigger = vfb::RunnableTrigger::timing(milliseconds(2));
+  produce.execution_time = [] { return microseconds(100); };
+  produce.accesses.push_back({"out", "x", vfb::DataAccessKind::kExplicitWrite});
+  produce.accesses.push_back({"out", "xx", vfb::DataAccessKind::kExplicitWrite});
+  produce.behavior = [n = std::uint64_t{0}](vfb::RunnableContext& ctx) mutable {
+    ++n;
+    ctx.write("out", "x", n);
+    ctx.write("out", "xx", n * n);
+  };
+  comp.add_type({"Producer",
+                 {vfb::Port{"out", "IPair", vfb::PortDirection::kProvided}},
+                 {produce}});
+
+  ConsistencyResult result;
+  auto stash = std::make_shared<std::uint64_t>(0);
+  vfb::Runnable grab;
+  grab.name = "grab";
+  grab.trigger = vfb::RunnableTrigger::timing(milliseconds(10));
+  grab.execution_time = [] { return microseconds(100); };
+  grab.accesses.push_back({"in", "x", read_kind});
+  grab.behavior = [stash](vfb::RunnableContext& ctx) {
+    *stash = ctx.read("in", "x");
+  };
+  vfb::Runnable use;
+  use.name = "use";
+  use.trigger = vfb::RunnableTrigger::timing(milliseconds(10));
+  use.execution_time = [] { return milliseconds(5); };
+  use.accesses.push_back({"in", "xx", read_kind});
+  use.behavior = [stash, &result](vfb::RunnableContext& ctx) {
+    const std::uint64_t xx = ctx.read("in", "xx");
+    ++result.reads;
+    if (*stash * *stash != xx) ++result.torn;
+  };
+  comp.add_type({"Consumer",
+                 {vfb::Port{"in", "IPair", vfb::PortDirection::kRequired}},
+                 {grab, use}});
+
+  comp.add_instance({"p", "Producer"});
+  comp.add_instance({"k", "Consumer"});
+  comp.add_connector({"p", "out", "k", "in"});
+  vfb::DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "e"};
+  plan.instances["k"] = {.ecu = "e"};
+  vfb::System sys(kernel, trace, comp, plan);
+  sys.run_for(sim::seconds(20));
+  return result;
+}
+
+struct LossResult {
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+};
+
+LossResult run_loss(bool queued) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  vfb::Composition comp;
+  vfb::PortInterface ival;
+  ival.name = "IVal";
+  ival.elements.push_back(vfb::DataElement{"v", 64, 0, queued});
+  comp.add_interface(ival);
+
+  LossResult result;
+  vfb::Runnable produce;
+  produce.name = "produce";
+  produce.trigger = vfb::RunnableTrigger::timing(milliseconds(5));
+  produce.execution_time = [] { return microseconds(50); };
+  produce.accesses.push_back({"out", "v", vfb::DataAccessKind::kExplicitWrite});
+  produce.behavior = [&result, n = std::uint64_t{0}](
+                         vfb::RunnableContext& ctx) mutable {
+    ++result.produced;
+    ctx.write("out", "v", ++n);
+  };
+  comp.add_type({"Producer",
+                 {vfb::Port{"out", "IVal", vfb::PortDirection::kProvided}},
+                 {produce}});
+
+  vfb::Runnable consume;
+  consume.name = "consume";
+  consume.trigger = vfb::RunnableTrigger::timing(milliseconds(20));
+  consume.execution_time = [] { return microseconds(50); };
+  consume.accesses.push_back({"in", "v", vfb::DataAccessKind::kExplicitRead});
+  consume.behavior = [&result, last = std::uint64_t{0}](
+                         vfb::RunnableContext& ctx) mutable {
+    // Drain everything available this activation (bounded loop).
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t v = ctx.read("in", "v");
+      if (v == 0 || v == last) break;  // empty queue / unchanged value
+      last = v;
+      ++result.consumed;
+    }
+  };
+  comp.add_type({"Consumer",
+                 {vfb::Port{"in", "IVal", vfb::PortDirection::kRequired}},
+                 {consume}});
+
+  comp.add_instance({"p", "Producer"});
+  comp.add_instance({"k", "Consumer"});
+  comp.add_connector({"p", "out", "k", "in"});
+  vfb::DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "e"};
+  plan.instances["k"] = {.ecu = "e"};
+  vfb::System sys(kernel, trace, comp, plan);
+  sys.run_for(sim::seconds(20));
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("A1a: data consistency — explicit vs implicit access");
+  bench::print_row({"read semantics", "pair reads", "torn pairs", "torn %"});
+  bench::print_rule(4);
+  {
+    const auto ex = run_consistency(vfb::DataAccessKind::kExplicitRead);
+    bench::print_row({"explicit (live values)", bench::fmt_u(ex.reads),
+                      bench::fmt_u(ex.torn),
+                      bench::fmt(100.0 * ex.torn / ex.reads, 1)});
+    const auto im = run_consistency(vfb::DataAccessKind::kImplicitRead);
+    bench::print_row({"implicit (snapshot)", bench::fmt_u(im.reads),
+                      bench::fmt_u(im.torn),
+                      bench::fmt(100.0 * im.torn / im.reads, 1)});
+  }
+
+  bench::print_title("A1b: update loss — last-is-best vs queued elements");
+  bench::print_row({"element semantics", "produced", "consumed", "loss %"});
+  bench::print_rule(4);
+  {
+    const auto lb = run_loss(false);
+    bench::print_row(
+        {"last-is-best", bench::fmt_u(lb.produced), bench::fmt_u(lb.consumed),
+         bench::fmt(100.0 * (lb.produced - lb.consumed) / lb.produced, 1)});
+    const auto q = run_loss(true);
+    bench::print_row(
+        {"queued (FIFO)", bench::fmt_u(q.produced), bench::fmt_u(q.consumed),
+         bench::fmt(100.0 * (q.produced - q.consumed) / q.produced, 1)});
+  }
+  std::puts(
+      "\nAblation verdict: implicit access eliminates torn multi-element\n"
+      "reads entirely (the cost is one buffered copy per runnable); queued\n"
+      "elements eliminate update loss when producer and consumer rates\n"
+      "differ (the cost is queue memory and drain logic). These are the two\n"
+      "RTE semantics AUTOSAR mandates and DESIGN.md adopts.");
+  return 0;
+}

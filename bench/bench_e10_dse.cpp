@@ -1,0 +1,257 @@
+// Experiment E10 / Table 9 — Design-space exploration of mappings (§3).
+//
+// Claim: contract-based vertical assumptions + distributed schedulability
+// analysis let a tool "explore allocation decisions with respect to their
+// impact on extra-functional requirements" before implementation.
+//
+// Workload: a 12-runnable application (3 chains of 4) to be mapped onto 4
+// ECUs connected by CAN. For each candidate mapping we check
+//   1. vertical fit (sum of CPU shares per ECU <= 70%),
+//   2. per-ECU response-time analysis,
+//   3. CAN analysis for every cross-ECU chain edge,
+//   4. composed end-to-end latency per chain vs its 25 ms requirement.
+// Search: exhaustive over chain-contiguity-preserving mappings plus random
+// sampling of arbitrary mappings, reporting feasibility yield and the best
+// mapping found.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/can_analysis.hpp"
+#include "analysis/e2e.hpp"
+#include "analysis/rta.hpp"
+#include "bench_util.hpp"
+#include "contracts/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+using namespace orte;
+using sim::milliseconds;
+using sim::microseconds;
+
+namespace {
+
+constexpr int kEcus = 4;
+constexpr int kChains = 3;
+constexpr int kPerChain = 4;
+constexpr int kRunnables = kChains * kPerChain;
+constexpr sim::Duration kRequirement = milliseconds(18);
+
+struct RunnableSpec {
+  std::string name;
+  sim::Duration period;
+  sim::Duration wcet;
+  int chain;
+  int pos;
+};
+
+std::vector<RunnableSpec> application() {
+  std::vector<RunnableSpec> app;
+  const sim::Duration periods[kChains] = {milliseconds(5), milliseconds(10),
+                                          milliseconds(20)};
+  const sim::Duration wcets[kChains] = {microseconds(600), microseconds(900),
+                                        microseconds(1500)};
+  for (int c = 0; c < kChains; ++c) {
+    for (int p = 0; p < kPerChain; ++p) {
+      app.push_back({"r" + std::to_string(c) + "_" + std::to_string(p),
+                     periods[c], wcets[c], c, p});
+    }
+  }
+  return app;
+}
+
+struct Evaluation {
+  bool vertical_ok = false;
+  bool cpu_ok = false;
+  bool bus_ok = false;
+  bool latency_ok = false;
+  sim::Duration worst_chain = 0;
+  [[nodiscard]] bool feasible() const {
+    return vertical_ok && cpu_ok && bus_ok && latency_ok;
+  }
+};
+
+Evaluation evaluate(const std::vector<RunnableSpec>& app,
+                    const std::vector<int>& mapping) {
+  Evaluation ev;
+  // 1. Vertical fit via the contract network.
+  contracts::ContractNetwork net;
+  for (const auto& r : app) {
+    contracts::Contract c;
+    c.name = r.name;
+    c.vertical.cpu_utilization =
+        static_cast<double>(r.wcet) / static_cast<double>(r.period);
+    net.add_component(c);
+  }
+  std::map<std::string, std::string> cmap;
+  for (int i = 0; i < kRunnables; ++i) {
+    cmap[app[static_cast<std::size_t>(i)].name] =
+        "ecu" + std::to_string(mapping[static_cast<std::size_t>(i)]);
+  }
+  std::vector<contracts::NodeCapacity> nodes;
+  for (int e = 0; e < kEcus; ++e) {
+    nodes.push_back({.name = "ecu" + std::to_string(e), .cpu = 0.7});
+  }
+  ev.vertical_ok = net.check_vertical(cmap, nodes).ok;
+  if (!ev.vertical_ok) return ev;
+
+  // 2. Per-ECU RTA.
+  std::map<std::string, sim::Duration> task_response;
+  ev.cpu_ok = true;
+  for (int e = 0; e < kEcus; ++e) {
+    std::vector<analysis::AnalysisTask> tasks;
+    for (int i = 0; i < kRunnables; ++i) {
+      if (mapping[static_cast<std::size_t>(i)] != e) continue;
+      const auto& r = app[static_cast<std::size_t>(i)];
+      tasks.push_back({.name = r.name, .wcet = r.wcet, .period = r.period});
+    }
+    analysis::assign_deadline_monotonic(tasks);
+    const auto result = analysis::analyze(tasks);
+    if (!result.schedulable) {
+      ev.cpu_ok = false;
+      return ev;
+    }
+    for (const auto& [name, resp] : result.response) {
+      task_response[name] = resp;
+    }
+  }
+
+  // 3. CAN analysis for cross-ECU edges (one 8-byte frame per edge; id by
+  //    chain rate).
+  std::vector<analysis::CanMessage> msgs;
+  std::vector<std::pair<int, int>> edge_of_msg;  // (chain, pos)
+  for (const auto& r : app) {
+    if (r.pos == kPerChain - 1) continue;
+    const int next = r.chain * kPerChain + r.pos + 1;
+    if (mapping[static_cast<std::size_t>(r.chain * kPerChain + r.pos)] ==
+        mapping[static_cast<std::size_t>(next)]) {
+      continue;  // same ECU: RTE-local copy
+    }
+    analysis::CanMessage m;
+    m.name = "sg_" + r.name;
+    m.id = static_cast<std::uint32_t>(0x100 + msgs.size() +
+                                      100 * static_cast<std::uint32_t>(r.chain));
+    m.bytes = 8;
+    m.period = r.period;
+    msgs.push_back(m);
+    edge_of_msg.emplace_back(r.chain, r.pos);
+  }
+  const auto bus_result = analysis::analyze_can(msgs, 500'000);
+  ev.bus_ok = bus_result.schedulable;
+  if (!ev.bus_ok) return ev;
+
+  // 4. End-to-end per chain. All stages are direct (event-chain semantics):
+  //    the generated RTE activates downstream runnables on data reception,
+  //    so no sampling delays accrue.
+  ev.latency_ok = true;
+  for (int c = 0; c < kChains; ++c) {
+    std::vector<analysis::Stage> chain;
+    for (int p = 0; p < kPerChain; ++p) {
+      const auto& r = app[static_cast<std::size_t>(c * kPerChain + p)];
+      chain.push_back({.name = r.name,
+                       .response = task_response.at(r.name),
+                       .period = r.period,
+                       .sampled = false});
+      if (p < kPerChain - 1) {
+        const std::string sig = "sg_" + r.name;
+        auto it = bus_result.response.find(sig);
+        if (it != bus_result.response.end()) {
+          chain.push_back({.name = sig, .response = it->second});
+        }
+      }
+    }
+    const auto e2e = analysis::e2e_latency(chain);
+    ev.worst_chain = std::max(ev.worst_chain, e2e.worst);
+    if (e2e.worst > kRequirement) ev.latency_ok = false;
+  }
+  return ev;
+}
+
+}  // namespace
+
+int main() {
+  const auto app = application();
+  bench::print_title(
+      "E10 / Table 9: mapping exploration, 12 runnables -> 4 ECUs over CAN");
+
+  // Strategy 1: chain-contiguous mappings (each chain entirely on one ECU or
+  // split once at a chosen position onto a chosen pair) — the designs a human
+  // integrator would consider. Enumerate chain->ECU assignments: 4^3 = 64.
+  int explored = 0, feasible = 0;
+  sim::Duration best = INT64_MAX;
+  std::string best_desc = "-";
+  for (int a = 0; a < kEcus; ++a) {
+    for (int b = 0; b < kEcus; ++b) {
+      for (int c = 0; c < kEcus; ++c) {
+        std::vector<int> mapping(kRunnables);
+        for (int p = 0; p < kPerChain; ++p) {
+          mapping[static_cast<std::size_t>(0 * kPerChain + p)] = a;
+          mapping[static_cast<std::size_t>(1 * kPerChain + p)] = b;
+          mapping[static_cast<std::size_t>(2 * kPerChain + p)] = c;
+        }
+        const auto ev = evaluate(app, mapping);
+        ++explored;
+        if (ev.feasible()) {
+          ++feasible;
+          if (ev.worst_chain < best) {
+            best = ev.worst_chain;
+            best_desc = "chains->(" + std::to_string(a) + "," +
+                        std::to_string(b) + "," + std::to_string(c) + ")";
+          }
+        }
+      }
+    }
+  }
+  bench::print_row({"strategy", "explored", "feasible", "yield %",
+                    "best e2e ms"});
+  bench::print_rule(5);
+  bench::print_row({"chain-contiguous", std::to_string(explored),
+                    std::to_string(feasible),
+                    bench::fmt(100.0 * feasible / explored, 1),
+                    best == INT64_MAX ? "-" : bench::fmt(sim::to_ms(best), 2)});
+
+  // Strategy 2: random arbitrary mappings.
+  sim::Rng rng(42);
+  int r_explored = 0, r_feasible = 0;
+  int fail_vertical = 0, fail_cpu = 0, fail_bus = 0, fail_latency = 0;
+  sim::Duration r_best = INT64_MAX;
+  for (int s = 0; s < 5000; ++s) {
+    std::vector<int> mapping(kRunnables);
+    for (auto& m : mapping) m = static_cast<int>(rng.index(kEcus));
+    const auto ev = evaluate(app, mapping);
+    ++r_explored;
+    if (ev.feasible()) {
+      ++r_feasible;
+      r_best = std::min(r_best, ev.worst_chain);
+    } else if (!ev.vertical_ok) {
+      ++fail_vertical;
+    } else if (!ev.cpu_ok) {
+      ++fail_cpu;
+    } else if (!ev.bus_ok) {
+      ++fail_bus;
+    } else {
+      ++fail_latency;
+    }
+  }
+  bench::print_row({"random sampling", std::to_string(r_explored),
+                    std::to_string(r_feasible),
+                    bench::fmt(100.0 * r_feasible / r_explored, 1),
+                    r_best == INT64_MAX ? "-"
+                                        : bench::fmt(sim::to_ms(r_best), 2)});
+
+  std::printf("\nbest chain-contiguous mapping: %s\n", best_desc.c_str());
+  std::printf(
+      "random-mapping rejection reasons: vertical=%d cpu-rta=%d bus-rta=%d "
+      "latency=%d\n",
+      fail_vertical, fail_cpu, fail_bus, fail_latency);
+  std::puts(
+      "\nExpected shape (paper S3): the analysis pipeline evaluates thousands\n"
+      "of mappings in milliseconds and prunes the infeasible ones before any\n"
+      "implementation exists (vertical overloads and latency violations\n"
+      "dominate the rejections). Exploration pays off: random sampling finds\n"
+      "mappings that beat the best human-obvious chain-contiguous design by\n"
+      "splitting the slowest chain across ECUs — the cheap design-space\n"
+      "exploration the rich-component methodology promises.");
+  return 0;
+}

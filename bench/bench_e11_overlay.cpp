@@ -1,0 +1,150 @@
+// Experiment E11 / Table 10 — Legacy CAN software on the integrated
+// platform (§4: "the APIs visible to the application software conform with
+// the requirements of existing legacy applications (e.g., a CAN overlay
+// network) and support the seamless integration of this existing legacy
+// software").
+//
+// Workload: a legacy body-domain CAN workload (10 periodic frames, ids
+// 0x100..0x109, 10..100 ms periods, 2-8 bytes) replayed identically on
+//  (a) a real CAN 500k bus (the legacy reference),
+//  (b) the CAN overlay over the TDMA NoC (the integrated platform).
+// Metrics: delivery ratio, priority-order inversions, latency distribution.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "can/can_bus.hpp"
+#include "noc/can_overlay.hpp"
+#include "noc/noc.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+using namespace orte;
+using sim::microseconds;
+using sim::milliseconds;
+
+namespace {
+
+struct LegacyFrame {
+  std::uint32_t id;
+  std::size_t bytes;
+  sim::Duration period;
+};
+
+std::vector<LegacyFrame> workload() {
+  std::vector<LegacyFrame> w;
+  for (int i = 0; i < 10; ++i) {
+    w.push_back({static_cast<std::uint32_t>(0x100 + i),
+                 static_cast<std::size_t>(2 + (i * 3) % 7),
+                 milliseconds(10 * (1 + i))});
+  }
+  return w;
+}
+
+struct Row {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t inversions = 0;
+  double mean_us = 0, worst_us = 0;
+};
+
+Row run_reference() {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  can::CanBus bus(kernel, trace, {.bitrate_bps = 500'000});
+  auto& tx = bus.attach();
+  auto& rx = bus.attach();
+  Row row;
+  sim::Stats lat;
+  // Inversion metric mirrors CanOverlay's adjacent-pair check.
+  bool have_last = false;
+  std::uint32_t last_id = 0;
+  sim::Time last_sent = 0;
+  rx.on_receive([&](const net::Frame& f) {
+    ++row.received;
+    lat.add(sim::to_us(kernel.now() - f.enqueued_at));
+    if (have_last && f.id < last_id && f.enqueued_at <= last_sent) {
+      ++row.inversions;
+    }
+    have_last = true;
+    last_id = f.id;
+    last_sent = f.enqueued_at;
+  });
+  for (const auto& lf : workload()) {
+    kernel.schedule_periodic(0, lf.period, [&kernel, &tx, &row, lf] {
+      net::Frame f;
+      f.id = lf.id;
+      f.name = "legacy";
+      f.payload.assign(lf.bytes, 0x42);
+      f.enqueued_at = kernel.now();
+      ++row.sent;
+      tx.send(std::move(f));
+    });
+  }
+  kernel.run_until(sim::seconds(20));
+  row.mean_us = lat.mean();
+  row.worst_us = lat.max();
+  return row;
+}
+
+Row run_overlay() {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  noc::Noc chip(kernel, trace,
+                {.arbitration = noc::Arbitration::kTdma,
+                 .link_bandwidth_bps = 100'000'000,
+                 .slot_len = microseconds(10)});
+  auto& body = chip.attach("body");
+  auto& gateway = chip.attach("gateway");
+  noc::CanOverlay tx(body);
+  noc::CanOverlay rx(gateway);
+  Row row;
+  sim::Stats lat;
+  rx.on_any([&](const noc::OverlayFrame& f) {
+    ++row.received;
+    lat.add(sim::to_us(f.received_at - f.sent_at));
+  });
+  for (const auto& lf : workload()) {
+    kernel.schedule_periodic(0, lf.period, [&kernel, &tx, &row, lf] {
+      (void)kernel;
+      std::vector<std::uint8_t> data(lf.bytes, 0x42);
+      ++row.sent;
+      tx.send(lf.id, std::move(data));
+    });
+  }
+  chip.start();
+  kernel.run_until(sim::seconds(20));
+  row.inversions = rx.order_inversions();
+  row.mean_us = lat.mean();
+  row.worst_us = lat.max();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "E11 / Table 10: legacy CAN workload — native bus vs overlay on NoC");
+  bench::print_row({"platform", "sent", "received", "inversions", "mean us",
+                    "worst us"});
+  bench::print_rule(6);
+  const auto ref = run_reference();
+  bench::print_row({"native CAN 500k", bench::fmt_u(ref.sent),
+                    bench::fmt_u(ref.received), bench::fmt_u(ref.inversions),
+                    bench::fmt(ref.mean_us, 1), bench::fmt(ref.worst_us, 1)});
+  const auto ovl = run_overlay();
+  bench::print_row({"CAN overlay / TDMA NoC", bench::fmt_u(ovl.sent),
+                    bench::fmt_u(ovl.received), bench::fmt_u(ovl.inversions),
+                    bench::fmt(ovl.mean_us, 1), bench::fmt(ovl.worst_us, 1)});
+  std::puts(
+      "\nExpected shape (paper S4): the overlay preserves the legacy API and\n"
+      "semantics — full delivery, zero priority inversions within the\n"
+      "sending core — while the NoC's bandwidth turns milliseconds of CAN\n"
+      "arbitration latency into tens of microseconds. (The small residual\n"
+      "difference is the TDMA slot wait replacing CAN arbitration.)");
+  return 0;
+}

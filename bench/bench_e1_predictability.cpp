@@ -1,0 +1,239 @@
+// Experiment E1 / Table 1 — Time predictability (paper §1, §3, §4).
+//
+// Claim: end-to-end latency over an event-triggered CAN backbone degrades
+// and jitters as bus load rises; over a time-triggered FlexRay static
+// segment it stays bounded and load-independent.
+//
+// Workload: sensor -> controller -> actuator across 3 ECUs (the control path
+// of the brake-by-wire example), plus a background-traffic ECU sweeping the
+// shared bus from 0 to ~90% load (CAN: higher-priority periodic frames;
+// FlexRay: dynamic-segment frames, which by construction cannot touch the
+// static slots carrying the control path).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "analysis/e2e.hpp"
+#include "analysis/flexray_analysis.hpp"
+#include "bench_util.hpp"
+#include "can/can_bus.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "tte/tte_switch.hpp"
+#include "vfb/model.hpp"
+#include "vfb/rte.hpp"
+#include "vfb/system.hpp"
+
+using namespace orte;
+using sim::microseconds;
+using sim::milliseconds;
+
+namespace {
+
+struct PathModel {
+  vfb::Composition comp;
+  sim::Stats e2e_ms;
+
+  PathModel() {
+    vfb::PortInterface ival;
+    ival.name = "IVal";
+    ival.elements.push_back(vfb::DataElement{"val", 64, 0, false});
+    comp.add_interface(ival);
+
+    vfb::Runnable sense;
+    sense.name = "sense";
+    sense.trigger = vfb::RunnableTrigger::timing(milliseconds(10));
+    sense.execution_time = [] { return microseconds(200); };
+    sense.accesses.push_back({"out", "val", vfb::DataAccessKind::kExplicitWrite});
+    sense.behavior = [](vfb::RunnableContext& ctx) {
+      ctx.write("out", "val", static_cast<std::uint64_t>(ctx.now()));
+    };
+    comp.add_type({"Sensor",
+                   {vfb::Port{"out", "IVal", vfb::PortDirection::kProvided}},
+                   {sense}});
+
+    vfb::Runnable control;
+    control.name = "control";
+    control.trigger = vfb::RunnableTrigger::data_received("in", "val");
+    control.execution_time = [] { return microseconds(400); };
+    control.accesses.push_back({"in", "val", vfb::DataAccessKind::kExplicitRead});
+    control.accesses.push_back(
+        {"out", "val", vfb::DataAccessKind::kExplicitWrite});
+    control.behavior = [](vfb::RunnableContext& ctx) {
+      ctx.write("out", "val", ctx.read("in", "val"));
+    };
+    comp.add_type({"Controller",
+                   {vfb::Port{"in", "IVal", vfb::PortDirection::kRequired},
+                    vfb::Port{"out", "IVal", vfb::PortDirection::kProvided}},
+                   {control}});
+
+    vfb::Runnable act;
+    act.name = "actuate";
+    act.trigger = vfb::RunnableTrigger::data_received("in", "val");
+    act.execution_time = [] { return microseconds(200); };
+    act.accesses.push_back({"in", "val", vfb::DataAccessKind::kExplicitRead});
+    act.behavior = [this](vfb::RunnableContext& ctx) {
+      const auto stamped = static_cast<sim::Time>(ctx.read("in", "val"));
+      e2e_ms.add(sim::to_ms(ctx.now() - stamped));
+    };
+    comp.add_type({"Actuator",
+                   {vfb::Port{"in", "IVal", vfb::PortDirection::kRequired}},
+                   {act}});
+
+    comp.add_instance({"sensor", "Sensor"});
+    comp.add_instance({"ctrl", "Controller"});
+    comp.add_instance({"act", "Actuator"});
+    comp.add_connector({"sensor", "out", "ctrl", "in"});
+    comp.add_connector({"ctrl", "out", "act", "in"});
+  }
+};
+
+struct Result {
+  double mean_ms = 0, max_ms = 0, jitter_ms = 0, bus_util = 0;
+};
+
+/// Run the control path with `load` background bus utilization (approx).
+Result run_case(vfb::BusKind bus, double load) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  PathModel model;
+  vfb::DeploymentPlan plan;
+  plan.bus = bus;
+  plan.instances["sensor"] = {.ecu = "ecu_s"};
+  plan.instances["ctrl"] = {.ecu = "ecu_c"};
+  plan.instances["act"] = {.ecu = "ecu_a"};
+  vfb::System sys(kernel, trace, model.comp, plan);
+
+  // Background traffic: frames of 8 bytes at a period chosen to hit `load`.
+  if (load > 0) {
+    if (bus == vfb::BusKind::kCan) {
+      auto& noisy = sys.can_bus()->attach();
+      const sim::Duration frame = sys.can_bus()->frame_time(8);
+      const auto period =
+          static_cast<sim::Duration>(static_cast<double>(frame) / load);
+      // Background uses *higher priority* ids than the control signals —
+      // the aggressive but realistic case (gateway traffic bursts).
+      kernel.schedule_periodic(0, period, [&noisy, &kernel] {
+        net::Frame f;
+        f.id = 0x01;
+        f.name = "background";
+        f.payload.assign(8, 0xFF);
+        f.enqueued_at = kernel.now();
+        noisy.send(f);
+      });
+    } else {
+      auto& noisy = sys.flexray_bus()->attach();
+      const auto cycle = sys.flexray_bus()->cycle_len();
+      const auto& cfg = sys.flexray_bus()->config();
+      const auto id = static_cast<std::uint32_t>(cfg.static_slots + 1);
+      // Fill the dynamic segment proportionally to `load`, capped at what a
+      // cycle's minislot budget can actually carry.
+      const sim::Duration tx = static_cast<sim::Duration>((8 + 8) * 8) *
+                               (1'000'000'000 / cfg.bitrate_bps);
+      const auto slots_per_frame =
+          (tx + cfg.minislot_len - 1) / cfg.minislot_len;
+      const int capacity = static_cast<int>(
+          static_cast<sim::Duration>(cfg.minislots) / slots_per_frame);
+      const int frames_per_cycle =
+          std::max(1, static_cast<int>(load * capacity));
+      kernel.schedule_periodic(
+          0, cycle, [&noisy, &kernel, id, frames_per_cycle] {
+            for (int i = 0; i < frames_per_cycle; ++i) {
+              net::Frame f;
+              f.id = id;
+              f.name = "background";
+              f.payload.assign(8, 0xFF);
+              f.enqueued_at = kernel.now();
+              noisy.send(f);
+            }
+          });
+    }
+  }
+
+  sys.start();
+  kernel.run_until(sim::seconds(10));
+  Result r;
+  r.mean_ms = model.e2e_ms.mean();
+  r.max_ms = model.e2e_ms.max();
+  r.jitter_ms = model.e2e_ms.spread();
+  r.bus_util = bus == vfb::BusKind::kCan
+                   ? sys.can_bus()->stats().utilization(kernel.now())
+                   : sys.flexray_bus()->stats().utilization(kernel.now());
+  return r;
+}
+
+/// TTE comparison: a 10 ms TT flow (the control signal) against best-effort
+/// background of `load` x link capacity, all converging on one egress port.
+Result run_tte_case(double load) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  tte::TteSwitch sw(kernel, trace, {});
+  auto& sensor = sw.attach("sensor");
+  auto& noisy = sw.attach("noisy");
+  sw.attach("actuator");
+  sw.add_flow({.id = 1, .cls = tte::TrafficClass::kTimeTriggered,
+               .source = 0, .destination = 2, .bytes = 100,
+               .period = milliseconds(10), .offset = microseconds(100)});
+  sw.add_flow({.id = 9, .cls = tte::TrafficClass::kBestEffort, .source = 1,
+               .destination = 2, .bytes = 1000});
+  kernel.schedule_periodic(0, milliseconds(10), [&] {
+    sensor.send(1, std::vector<std::uint8_t>(100));
+  });
+  if (load > 0) {
+    const auto be_tx = sw.tx_time(1000);
+    const auto period =
+        static_cast<sim::Duration>(static_cast<double>(be_tx) / load);
+    kernel.schedule_periodic(0, period, [&] {
+      noisy.send(9, std::vector<std::uint8_t>(1000));
+    });
+  }
+  sw.start();
+  kernel.run_until(sim::seconds(10));
+  const auto& lat = sw.flow_latency_us(1);
+  Result r;
+  r.mean_ms = lat.mean() / 1000.0;
+  r.max_ms = lat.max() / 1000.0;
+  r.jitter_ms = lat.spread() / 1000.0;
+  r.bus_util = load;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "E1 / Table 1: end-to-end latency vs bus load (CAN vs FlexRay static)");
+  bench::print_row({"bus / target load", "bus util %", "mean ms", "max ms",
+                    "jitter ms"});
+  bench::print_rule(5);
+  for (double load : {0.0, 0.3, 0.6, 0.9}) {
+    const auto r = run_case(vfb::BusKind::kCan, load);
+    bench::print_row({"CAN 500k / " + bench::fmt(load, 1),
+                      bench::fmt(100 * r.bus_util, 1), bench::fmt(r.mean_ms, 3),
+                      bench::fmt(r.max_ms, 3), bench::fmt(r.jitter_ms, 3)});
+  }
+  bench::print_rule(5);
+  for (double load : {0.0, 0.3, 0.6, 0.9}) {
+    const auto r = run_case(vfb::BusKind::kFlexRay, load);
+    bench::print_row({"FlexRay static / " + bench::fmt(load, 1),
+                      bench::fmt(100 * r.bus_util, 1), bench::fmt(r.mean_ms, 3),
+                      bench::fmt(r.max_ms, 3), bench::fmt(r.jitter_ms, 3)});
+  }
+  bench::print_rule(5);
+  for (double load : {0.0, 0.3, 0.6, 0.9}) {
+    const auto r = run_tte_case(load);
+    bench::print_row({"TTE TT-flow / " + bench::fmt(load, 1),
+                      bench::fmt(100 * r.bus_util, 1),
+                      bench::fmt(r.mean_ms, 3), bench::fmt(r.max_ms, 3),
+                      bench::fmt(r.jitter_ms, 3)});
+  }
+  std::puts(
+      "\nExpected shape (paper S1,S3,S4): CAN max latency and jitter grow with\n"
+      "load; FlexRay static-segment latency is load-invariant (temporal\n"
+      "isolation of the time-triggered segment); a TTE TT-flow likewise, with\n"
+      "residual jitter bounded by one best-effort frame of shuffling.");
+  return 0;
+}

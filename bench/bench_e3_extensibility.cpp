@@ -1,0 +1,151 @@
+// Experiment E3 / Table 3 — Composability & extensibility (§1, §4 req. 2:
+// "the integration of an IP-core must not invalidate the established
+// correctness of the prior services").
+//
+// Claim: adding new software components to a deployed system perturbs the
+// latencies of the existing application under event-triggered integration
+// (shared CAN), but not under time-triggered integration (FlexRay static
+// slots).
+//
+// Workload: base control path (sensor -> controller on two ECUs). Then k =
+// 0..6 additional SWC pairs are integrated on two *other* ECUs, each
+// exchanging a 3 ms periodic signal over the same backbone. We report the
+// base path's worst-case latency as a function of k.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "vfb/model.hpp"
+#include "vfb/rte.hpp"
+#include "vfb/system.hpp"
+
+using namespace orte;
+using sim::microseconds;
+using sim::milliseconds;
+
+namespace {
+
+struct Scenario {
+  vfb::Composition comp;
+  sim::Stats base_e2e_ms;
+
+  explicit Scenario(int extra_pairs) {
+    vfb::PortInterface ival;
+    ival.name = "IVal";
+    ival.elements.push_back(vfb::DataElement{"val", 64, 0, false});
+    comp.add_interface(ival);
+
+    // Base application: 10 ms sensor on ecu_a -> sink on ecu_b.
+    vfb::Runnable sense;
+    sense.name = "sense";
+    sense.trigger = vfb::RunnableTrigger::timing(milliseconds(10));
+    sense.execution_time = [] { return microseconds(200); };
+    sense.accesses.push_back({"out", "val", vfb::DataAccessKind::kExplicitWrite});
+    sense.behavior = [](vfb::RunnableContext& ctx) {
+      ctx.write("out", "val", static_cast<std::uint64_t>(ctx.now()));
+    };
+    comp.add_type({"BaseProducer",
+                   {vfb::Port{"out", "IVal", vfb::PortDirection::kProvided}},
+                   {sense}});
+
+    vfb::Runnable sink;
+    sink.name = "sink";
+    sink.trigger = vfb::RunnableTrigger::data_received("in", "val");
+    sink.execution_time = [] { return microseconds(100); };
+    sink.accesses.push_back({"in", "val", vfb::DataAccessKind::kExplicitRead});
+    sink.behavior = [this](vfb::RunnableContext& ctx) {
+      const auto stamped = static_cast<sim::Time>(ctx.read("in", "val"));
+      base_e2e_ms.add(sim::to_ms(ctx.now() - stamped));
+    };
+    comp.add_type({"BaseConsumer",
+                   {vfb::Port{"in", "IVal", vfb::PortDirection::kRequired}},
+                   {sink}});
+
+    comp.add_instance({"base_p", "BaseProducer"});
+    comp.add_instance({"base_c", "BaseConsumer"});
+    comp.add_connector({"base_p", "out", "base_c", "in"});
+
+    // Added components: faster (3 ms) senders — on CAN their frames win
+    // arbitration over the base signal (rate-monotonic id assignment).
+    vfb::Runnable fast;
+    fast.name = "fast";
+    fast.trigger = vfb::RunnableTrigger::timing(milliseconds(3));
+    fast.execution_time = [] { return microseconds(150); };
+    fast.accesses.push_back({"out", "val", vfb::DataAccessKind::kExplicitWrite});
+    fast.behavior = [](vfb::RunnableContext& ctx) {
+      ctx.write("out", "val", 1);
+    };
+    comp.add_type({"AddedProducer",
+                   {vfb::Port{"out", "IVal", vfb::PortDirection::kProvided}},
+                   {fast}});
+    vfb::Runnable drain;
+    drain.name = "drain";
+    drain.trigger = vfb::RunnableTrigger::data_received("in", "val");
+    drain.execution_time = [] { return microseconds(50); };
+    drain.accesses.push_back({"in", "val", vfb::DataAccessKind::kExplicitRead});
+    drain.behavior = [](vfb::RunnableContext& ctx) { ctx.read("in", "val"); };
+    comp.add_type({"AddedConsumer",
+                   {vfb::Port{"in", "IVal", vfb::PortDirection::kRequired}},
+                   {drain}});
+    for (int i = 0; i < extra_pairs; ++i) {
+      const std::string p = "add_p" + std::to_string(i);
+      const std::string c = "add_c" + std::to_string(i);
+      comp.add_instance({p, "AddedProducer"});
+      comp.add_instance({c, "AddedConsumer"});
+      comp.add_connector({p, "out", c, "in"});
+    }
+  }
+
+  vfb::DeploymentPlan plan(vfb::BusKind bus, int extra_pairs) const {
+    vfb::DeploymentPlan p;
+    p.bus = bus;
+    p.instances["base_p"] = {.ecu = "ecu_a"};
+    p.instances["base_c"] = {.ecu = "ecu_b"};
+    for (int i = 0; i < extra_pairs; ++i) {
+      p.instances["add_p" + std::to_string(i)] = {.ecu = "ecu_x"};
+      p.instances["add_c" + std::to_string(i)] = {.ecu = "ecu_y"};
+    }
+    return p;
+  }
+};
+
+double worst_latency(vfb::BusKind bus, int extra_pairs) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  Scenario scenario(extra_pairs);
+  vfb::System sys(kernel, trace, scenario.comp,
+                  scenario.plan(bus, extra_pairs));
+  sys.run_for(sim::seconds(20));
+  return scenario.base_e2e_ms.max();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "E3 / Table 3: base-app worst latency when k SWC pairs are added");
+  bench::print_row({"added SWC pairs k", "CAN worst ms", "CAN drift %",
+                    "FlexRay worst ms", "FR drift %"});
+  bench::print_rule(5);
+  const double can0 = worst_latency(vfb::BusKind::kCan, 0);
+  const double fr0 = worst_latency(vfb::BusKind::kFlexRay, 0);
+  for (int k : {0, 1, 2, 4, 6}) {
+    const double can = worst_latency(vfb::BusKind::kCan, k);
+    const double fr = worst_latency(vfb::BusKind::kFlexRay, k);
+    bench::print_row({std::to_string(k), bench::fmt(can, 3),
+                      bench::fmt(100 * (can - can0) / can0, 1),
+                      bench::fmt(fr, 3),
+                      bench::fmt(100 * (fr - fr0) / fr0, 1)});
+  }
+  std::puts(
+      "\nExpected shape (paper S1, S4 composability req. 2): the base\n"
+      "application's worst-case latency drifts upward with every added\n"
+      "component on CAN (their higher-rate frames win arbitration), while on\n"
+      "FlexRay the base static slot is untouchable — drift stays ~0% (slot\n"
+      "position may shift once at reconfiguration, then stays constant).");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment E5 / Table 5 — Contract analysis scalability & detection (§3).
+//
+// Claim: rich-component compatibility checking is cheap enough to run at
+// every design iteration, and vertical assumptions catch resource overloads
+// before any code exists.
+//
+// Workload: synthetic pipelines of n components with consistent contracts;
+// a mutation pass weakens m random guarantees (range widened / latency bound
+// dropped) and the checker must flag exactly the mutated connections.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "contracts/contract.hpp"
+#include "contracts/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+using namespace orte;
+using namespace orte::contracts;
+using sim::milliseconds;
+
+namespace {
+
+ContractNetwork make_pipeline(std::size_t n) {
+  ContractNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    Contract c;
+    c.name = "comp" + std::to_string(i);
+    if (i > 0) {
+      c.assumptions.push_back(
+          {.flow = "in",
+           .range = {0, 1000},
+           .timing = {milliseconds(10), milliseconds(1), milliseconds(5)}});
+    }
+    c.guarantees.push_back(
+        {.flow = "out",
+         .range = {0, 900},
+         .timing = {milliseconds(10), milliseconds(1), milliseconds(4)}});
+    c.vertical = {.cpu_utilization = 0.02, .memory_bytes = 4096,
+                  .confidence = 0.9};
+    net.add_component(c);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net.connect("comp" + std::to_string(i), "out",
+                "comp" + std::to_string(i + 1), "in");
+  }
+  return net;
+}
+
+struct Mutated {
+  ContractNetwork net;
+  std::size_t mutations = 0;
+};
+
+Mutated make_mutated(std::size_t n, std::size_t mutations, sim::Rng& rng) {
+  Mutated m;
+  m.net = ContractNetwork();
+  std::vector<bool> mutate(n, false);
+  std::size_t placed = 0;
+  while (placed < mutations) {
+    const std::size_t i = rng.index(n - 1);  // only components with a sink
+    if (!mutate[i]) {
+      mutate[i] = true;
+      ++placed;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Contract c;
+    c.name = "comp" + std::to_string(i);
+    if (i > 0) {
+      c.assumptions.push_back(
+          {.flow = "in",
+           .range = {0, 1000},
+           .timing = {milliseconds(10), milliseconds(1), milliseconds(5)}});
+    }
+    FlowSpec g{.flow = "out",
+               .range = {0, 900},
+               .timing = {milliseconds(10), milliseconds(1), milliseconds(4)}};
+    if (mutate[i]) g.range.hi = 5000;  // breaks the downstream assumption
+    c.guarantees.push_back(g);
+    m.net.add_component(c);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    m.net.connect("comp" + std::to_string(i), "out",
+                  "comp" + std::to_string(i + 1), "in");
+  }
+  m.mutations = mutations;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "E5 / Table 5: compatibility checking scale & mutation detection");
+  bench::print_row({"components", "connections", "check ms", "violations",
+                    "injected"});
+  bench::print_rule(5);
+  sim::Rng rng(7);
+  for (std::size_t n : {10u, 50u, 200u, 500u, 1000u, 2000u}) {
+    const std::size_t inject = n / 10;
+    const auto mutated = make_mutated(n, inject, rng);
+    bench::WallClock clock;
+    const auto result = mutated.net.check_compatibility();
+    const double ms = clock.elapsed_ms();
+    bench::print_row({std::to_string(n), std::to_string(n - 1),
+                      bench::fmt(ms, 2),
+                      std::to_string(result.violations.size()),
+                      std::to_string(inject)});
+    if (result.violations.size() != inject) {
+      std::printf("  !! detection mismatch at n=%zu\n", n);
+    }
+  }
+
+  bench::print_title("E5b: vertical assumption checking (mapping validation)");
+  bench::print_row({"components", "nodes", "check ms", "verdict"});
+  bench::print_rule(4);
+  for (std::size_t n : {50u, 500u, 2000u}) {
+    const auto net = make_pipeline(n);
+    std::map<std::string, std::string> mapping;
+    std::vector<NodeCapacity> nodes;
+    const std::size_t n_nodes = n / 25 + 1;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      nodes.push_back({.name = "ecu" + std::to_string(i), .cpu = 0.6,
+                       .memory_bytes = 1 << 20});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      mapping["comp" + std::to_string(i)] = "ecu" + std::to_string(i % n_nodes);
+    }
+    bench::WallClock clock;
+    const auto result = net.check_vertical(mapping, nodes);
+    bench::print_row({std::to_string(n), std::to_string(n_nodes),
+                      bench::fmt(clock.elapsed_ms(), 2),
+                      result.ok ? "fits" : "overload"});
+  }
+  std::puts(
+      "\nExpected shape (paper S3): checking time grows ~linearly in network\n"
+      "size and stays interactive (ms range) even at 2000 components; every\n"
+      "injected incompatibility is detected, with zero false positives.");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Experiment E6 / Table 6 — Validity of the schedulability analyses (§3).
+//
+// Claim: the response-time analyses used for design-time verification are
+// safe (no simulated response ever exceeds its bound) and usefully tight.
+//
+// Workload: per utilization band, 100 random task sets (UUniFast, periods
+// from an automotive grid) simulated for 2+ hyperperiods against the task
+// RTA; and 100 random CAN message sets against the Davis CAN analysis.
+// Reported: schedulability rate, bound violations (must be 0), and mean
+// tightness = observed worst / analytic bound.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/can_analysis.hpp"
+#include "analysis/rta.hpp"
+#include "bench_util.hpp"
+#include "can/can_bus.hpp"
+#include "os/ecu.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+using namespace orte;
+using sim::milliseconds;
+using sim::microseconds;
+
+namespace {
+
+struct BandResult {
+  int sets = 0;
+  int schedulable = 0;
+  int violations = 0;
+  double tightness_sum = 0;
+  int tightness_n = 0;
+};
+
+BandResult run_task_band(double u, int sets, std::uint64_t seed0) {
+  BandResult out;
+  for (int s = 0; s < sets; ++s) {
+    sim::Rng rng(seed0 + static_cast<std::uint64_t>(s));
+    const std::size_t n = 3 + rng.index(6);
+    const std::vector<sim::Duration> periods{
+        milliseconds(1), milliseconds(2), milliseconds(4), milliseconds(5),
+        milliseconds(8), milliseconds(10), milliseconds(20)};
+    const auto shares = rng.uunifast(n, u);
+    std::vector<analysis::AnalysisTask> model;
+    for (std::size_t i = 0; i < n; ++i) {
+      analysis::AnalysisTask t;
+      t.name = "t" + std::to_string(i);
+      t.period = periods[rng.index(periods.size())];
+      t.wcet = std::max<sim::Duration>(
+          microseconds(1), static_cast<sim::Duration>(
+                               static_cast<double>(t.period) * shares[i]));
+      model.push_back(t);
+    }
+    analysis::assign_deadline_monotonic(model);
+    const auto result = analysis::analyze(model);
+    ++out.sets;
+    if (!result.schedulable) continue;
+    ++out.schedulable;
+
+    sim::Kernel kernel;
+    sim::Trace trace;
+    trace.enable_retention(false);
+    os::Ecu ecu(kernel, trace, "e");
+    for (const auto& m : model) {
+      ecu.add_task({.name = m.name, .priority = m.priority, .period = m.period})
+          .set_body(m.wcet);
+    }
+    ecu.start();
+    kernel.run_until(milliseconds(200));
+    for (const auto& m : model) {
+      const double bound = sim::to_ms(result.response.at(m.name));
+      const double observed = ecu.find_task(m.name)->response_times().max();
+      if (observed > bound + 1e-9) ++out.violations;
+      out.tightness_sum += observed / bound;
+      ++out.tightness_n;
+    }
+  }
+  return out;
+}
+
+BandResult run_can_band(double u, int sets, std::uint64_t seed0) {
+  BandResult out;
+  constexpr std::int64_t kBitrate = 500'000;
+  for (int s = 0; s < sets; ++s) {
+    sim::Rng rng(seed0 + static_cast<std::uint64_t>(s));
+    const std::size_t n = 4 + rng.index(8);
+    const auto shares = rng.uunifast(n, u);
+    std::vector<analysis::CanMessage> model;
+    for (std::size_t i = 0; i < n; ++i) {
+      analysis::CanMessage m;
+      m.name = "m" + std::to_string(i);
+      m.id = static_cast<std::uint32_t>(0x100 + i);
+      m.bytes = 1 + rng.index(8);
+      const auto c = can::frame_transmission_time(m.bytes, kBitrate);
+      m.period = std::max<sim::Duration>(
+          milliseconds(1),
+          static_cast<sim::Duration>(static_cast<double>(c) / shares[i]));
+      model.push_back(m);
+    }
+    const auto result = analysis::analyze_can(model, kBitrate);
+    ++out.sets;
+    if (!result.schedulable) continue;
+    ++out.schedulable;
+
+    sim::Kernel kernel;
+    sim::Trace trace;
+    trace.enable_retention(false);
+    can::CanBus bus(kernel, trace, {.bitrate_bps = kBitrate});
+    auto& sender = bus.attach();
+    auto& listener = bus.attach();
+    std::map<std::uint32_t, sim::Duration> observed;
+    listener.on_receive([&](const net::Frame& f) {
+      observed[f.id] =
+          std::max(observed[f.id], kernel.now() - f.enqueued_at);
+    });
+    for (const auto& m : model) {
+      kernel.schedule_periodic(0, m.period, [&sender, &kernel, m] {
+        net::Frame f;
+        f.id = m.id;
+        f.name = m.name;
+        f.payload.assign(m.bytes, 0x55);
+        f.enqueued_at = kernel.now();
+        sender.send(f);
+      });
+    }
+    kernel.run_until(milliseconds(400));
+    for (const auto& m : model) {
+      auto bit = result.response.find(m.name);
+      if (bit == result.response.end()) continue;
+      const double bound = sim::to_us(bit->second);
+      const double obs = sim::to_us(observed[m.id]);
+      if (obs > bound + 1e-6) ++out.violations;
+      out.tightness_sum += obs / bound;
+      ++out.tightness_n;
+    }
+  }
+  return out;
+}
+
+void print_band(const std::string& label, const BandResult& r) {
+  bench::print_row(
+      {label, std::to_string(r.sets),
+       bench::fmt(100.0 * r.schedulable / r.sets, 1),
+       std::to_string(r.violations),
+       r.tightness_n > 0 ? bench::fmt(r.tightness_sum / r.tightness_n, 3)
+                         : "-"});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "E6 / Table 6: analysis bounds vs simulation (100 random sets per band)");
+  bench::print_row({"workload / utilization", "sets", "sched %", "violations",
+                    "tightness"});
+  bench::print_rule(5);
+  int band_index = 0;
+  for (double u : {0.3, 0.5, 0.7, 0.9}) {
+    print_band("task RTA / U=" + bench::fmt(u, 1),
+               run_task_band(u, 100, 1000 + 100 * band_index));
+    ++band_index;
+  }
+  bench::print_rule(5);
+  for (double u : {0.3, 0.5, 0.7, 0.9}) {
+    print_band("CAN RTA / U=" + bench::fmt(u, 1),
+               run_can_band(u, 100, 5000 + 100 * band_index));
+    ++band_index;
+  }
+  std::puts(
+      "\nExpected shape (paper S3): zero bound violations in every band\n"
+      "(the analyses are safe); tightness approaches 1.0 as utilization\n"
+      "grows (the synchronous critical instant is actually hit).");
+  return 0;
+}

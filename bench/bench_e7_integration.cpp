@@ -1,0 +1,199 @@
+// Experiment E7 / Table 7 — Federated vs integrated architecture (§4).
+//
+// Claim: consolidating the distributed application subsystems (DAS) onto an
+// MPSoC with a TDMA NoC cuts ECUs, network segments and contact points,
+// shortens inter-DAS paths (no store-and-forward gateways), and — with the
+// NoC's injection control — *improves* dependability against babbling nodes
+// rather than trading it away.
+//
+// Federated reference: 4 DASes, each with its own CAN segment and gateway
+// ECU; gateways bridge onto a backbone CAN. The powertrain->chassis signal
+// crosses 3 buses and 2 gateways. Integrated: 4 IP cores on one TDMA NoC.
+// A babbling multimedia node floods the backbone / NoC during [4s, 6s).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "bsw/pdu_router.hpp"
+#include "can/can_bus.hpp"
+#include "noc/noc.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+using namespace orte;
+using sim::microseconds;
+using sim::milliseconds;
+
+namespace {
+
+constexpr sim::Duration kGatewayProcessing = microseconds(200);
+
+struct LatencyResult {
+  double nominal_worst_ms = 0;  // outside the babble window
+  double babble_worst_ms = 0;   // inside [4s, 6s)
+  std::uint64_t delivered = 0;
+};
+
+LatencyResult run_federated() {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  can::CanBus can_power(kernel, trace, {.name = "can_power"});
+  can::CanBus backbone(kernel, trace, {.name = "backbone"});
+  can::CanBus can_chassis(kernel, trace, {.name = "can_chassis"});
+
+  auto& src = can_power.attach();          // powertrain function ECU
+  auto& gw_p_local = can_power.attach();   // gateway, powertrain side
+  auto& gw_p_bb = backbone.attach();       // gateway, backbone side
+  auto& gw_c_bb = backbone.attach();       // gateway, chassis side
+  auto& gw_c_local = can_chassis.attach();
+  auto& sink = can_chassis.attach();       // chassis function ECU
+  auto& mm_bb = backbone.attach();         // multimedia gateway (babbler)
+
+  // Source: engine state every 10 ms; the payload carries a sequence number
+  // so the sink can recover the frame's birth time across gateway hops.
+  sim::Stats nominal_ms, babble_ms;
+  std::map<std::uint64_t, sim::Time> born_at;  // sequence -> timestamp
+  std::uint64_t seq = 0, delivered = 0;
+
+  kernel.schedule_periodic(0, milliseconds(10), [&] {
+    net::Frame f;
+    f.id = 0x100;
+    f.name = "engine";
+    f.payload.assign(8, 0);
+    for (int i = 0; i < 8; ++i) {
+      f.payload[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((seq >> (8 * i)) & 0xFF);
+    }
+    born_at[seq] = kernel.now();
+    ++seq;
+    f.enqueued_at = kernel.now();
+    src.send(std::move(f));
+  });
+
+  bsw::PduRouter gw_p(kernel, trace, "gw_power");
+  gw_p.add_route(gw_p_local, gw_p_bb,
+                 {.match_id = 0x100, .processing = kGatewayProcessing});
+  bsw::PduRouter gw_c(kernel, trace, "gw_chassis");
+  gw_c.add_route(gw_c_bb, gw_c_local,
+                 {.match_id = 0x100, .processing = kGatewayProcessing});
+  sink.on_receive([&](const net::Frame& f) {
+    if (f.id != 0x100) return;
+    std::uint64_t s = 0;
+    for (int i = 0; i < 8; ++i) {
+      s |= static_cast<std::uint64_t>(f.payload[static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    const sim::Time born = born_at[s];
+    const double ms = sim::to_ms(kernel.now() - born);
+    ++delivered;
+    if (born >= sim::seconds(4) && born < sim::seconds(6)) {
+      babble_ms.add(ms);
+    } else if (kernel.now() < sim::seconds(4) || born >= sim::seconds(8)) {
+      // Clean nominal window: fully delivered before the flood starts, or
+      // born well after the post-flood backlog has drained.
+      nominal_ms.add(ms);
+    }
+  });
+
+  // Multimedia gateway floods the backbone with top-priority frames at ~2x
+  // bus capacity during [4s, 6s).
+  const auto flood = kernel.schedule_periodic(
+      sim::seconds(4), microseconds(135), [&] {
+        net::Frame f;
+        f.id = 0x001;
+        f.name = "mm_flood";
+        f.payload.assign(8, 0xFF);
+        f.enqueued_at = kernel.now();
+        mm_bb.send(std::move(f));
+      });
+  kernel.schedule_at(sim::seconds(6), [&kernel, flood] { kernel.cancel(flood); });
+
+  kernel.run_until(sim::seconds(10));
+  return {nominal_ms.max(),
+          babble_ms.empty() ? -1.0 : babble_ms.max(), delivered};
+}
+
+LatencyResult run_integrated() {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  noc::Noc chip(kernel, trace,
+                {.arbitration = noc::Arbitration::kTdma,
+                 .link_bandwidth_bps = 100'000'000,
+                 .slot_len = microseconds(10)});
+  auto& power = chip.attach("powertrain");
+  auto& chassis = chip.attach("chassis");
+  chip.attach("body");
+  chip.attach("multimedia");
+
+  sim::Stats nominal_ms, babble_ms;
+  std::uint64_t delivered = 0;
+  chassis.on_receive([&](const noc::NocMessage& m) {
+    if (m.name != "engine") return;
+    ++delivered;
+    const double ms = sim::to_ms(m.delivered_at - m.enqueued_at);
+    if (m.enqueued_at >= sim::seconds(4) && m.enqueued_at < sim::seconds(6)) {
+      babble_ms.add(ms);
+    } else if (m.delivered_at < sim::seconds(4) ||
+               m.enqueued_at >= sim::seconds(8)) {
+      nominal_ms.add(ms);
+    }
+  });
+  kernel.schedule_periodic(0, milliseconds(10), [&] {
+    noc::NocMessage m;
+    m.destination = 1;
+    m.name = "engine";
+    m.bytes = 8;
+    power.send(m);
+  });
+  chip.inject_babble(3, 100, microseconds(4), sim::seconds(4),
+                     sim::seconds(6));
+  chip.start();
+  kernel.run_until(sim::seconds(10));
+  return {nominal_ms.max(),
+          babble_ms.empty() ? -1.0 : babble_ms.max(), delivered};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("E7 / Table 7a: physical-architecture inventory");
+  bench::print_row({"metric", "federated", "integrated"});
+  bench::print_rule(3);
+  // Four DASes of three functions each; federated needs a gateway per DAS
+  // plus a backbone, integrated hosts each DAS on one IP core.
+  bench::print_row({"ECUs / IP cores", "16", "4"});
+  bench::print_row({"network segments", "5", "1"});
+  bench::print_row({"controller attachments", "20", "4"});
+  bench::print_row({"wiring contact points", "40", "8"});
+  bench::print_row({"gateway hops (power->chassis)", "2", "0"});
+
+  bench::print_title(
+      "E7 / Table 7b: powertrain->chassis latency, multimedia floods 4s-6s");
+  bench::print_row({"architecture", "nominal worst ms", "flood worst ms",
+                    "delivered"});
+  bench::print_rule(4);
+  const auto fed = run_federated();
+  bench::print_row({"federated (CAN+gateways)",
+                    bench::fmt(fed.nominal_worst_ms, 3),
+                    fed.babble_worst_ms < 0 ? "starved"
+                                            : bench::fmt(fed.babble_worst_ms, 3),
+                    bench::fmt_u(fed.delivered)});
+  const auto integ = run_integrated();
+  bench::print_row({"integrated (TDMA NoC)",
+                    bench::fmt(integ.nominal_worst_ms, 3),
+                    integ.babble_worst_ms < 0
+                        ? "starved"
+                        : bench::fmt(integ.babble_worst_ms, 3),
+                    bench::fmt_u(integ.delivered)});
+  std::puts(
+      "\nExpected shape (paper S4): the integrated architecture cuts the\n"
+      "hardware inventory by ~4x, removes both store-and-forward gateway\n"
+      "hops from the inter-DAS path (lower nominal latency), and keeps the\n"
+      "flood-window latency identical to nominal (injection control), while\n"
+      "the federated backbone is starved/degraded by the babbling gateway.");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment E8 / Table 8 — Efficiency vs reliability (§1).
+//
+// Claim: "a scheduling policy that could prevent timing variability ...
+// (timing isolation or resource reservation policies) ... will carry
+// overhead, albeit potentially not prohibitive". This bench quantifies that
+// overhead as lost admission capacity.
+//
+// Method: per utilization band, 200 random task sets (UUniFast, automotive
+// period grid). Admission tests:
+//   * FP        — plain preemptive fixed-priority RTA (no protection),
+//   * FP+budget — same, with per-job budget enforcement overhead added to every
+//                 WCET (timer arm + expiry handling, 2 x 20 us per job),
+//   * TT table  — non-preemptive schedule-table synthesis with the same
+//                 dispatch overhead (the §1 "careful planning" alternative).
+// Also reported: the mean CPU inflation the enforcement overhead causes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/rta.hpp"
+#include "analysis/tt_schedule.hpp"
+#include "bench_util.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+using namespace orte;
+using sim::milliseconds;
+using sim::microseconds;
+
+namespace {
+
+constexpr sim::Duration kEnforcementOverhead = 2 * microseconds(20);
+
+struct BandRow {
+  double fp_admit = 0;
+  double budget_admit = 0;
+  double tt_admit = 0;
+  double mean_inflation = 0;  // percentage points of utilization
+};
+
+BandRow run_band(double u, int sets, std::uint64_t seed0) {
+  BandRow row;
+  int fp = 0, budget = 0, tt = 0;
+  double inflation_sum = 0;
+  const std::vector<sim::Duration> periods{
+      milliseconds(5), milliseconds(10), milliseconds(20), milliseconds(40),
+      milliseconds(50), milliseconds(100)};
+  for (int s = 0; s < sets; ++s) {
+    sim::Rng rng(seed0 + static_cast<std::uint64_t>(s));
+    const std::size_t n = 4 + rng.index(8);
+    const auto shares = rng.uunifast(n, u);
+    std::vector<analysis::AnalysisTask> model;
+    for (std::size_t i = 0; i < n; ++i) {
+      analysis::AnalysisTask t;
+      t.name = "t" + std::to_string(i);
+      t.period = periods[rng.index(periods.size())];
+      t.wcet = std::max<sim::Duration>(
+          microseconds(10), static_cast<sim::Duration>(
+                                static_cast<double>(t.period) * shares[i]));
+      model.push_back(t);
+    }
+    analysis::assign_deadline_monotonic(model);
+    if (analysis::analyze(model).schedulable) ++fp;
+
+    auto inflated = model;
+    double inflation = 0;
+    for (auto& t : inflated) {
+      t.wcet += kEnforcementOverhead;
+      inflation += static_cast<double>(kEnforcementOverhead) /
+                   static_cast<double>(t.period);
+    }
+    inflation_sum += 100.0 * inflation;
+    if (analysis::analyze(inflated).schedulable) ++budget;
+
+    std::vector<analysis::TtJobSpec> specs;
+    for (const auto& t : inflated) {
+      specs.push_back({.task = t.name, .period = t.period, .wcet = t.wcet});
+    }
+    if (analysis::synthesize_schedule(specs).has_value()) ++tt;
+  }
+  row.fp_admit = 100.0 * fp / sets;
+  row.budget_admit = 100.0 * budget / sets;
+  row.tt_admit = 100.0 * tt / sets;
+  row.mean_inflation = inflation_sum / sets;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "E8 / Table 8: admission rate per policy (200 random sets per band)");
+  bench::print_row({"utilization band", "FP admit %", "FP+budget %",
+                    "TT table %", "inflation pp"});
+  bench::print_rule(5);
+  std::uint64_t seed = 9000;
+  for (double u : {0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    const auto r = run_band(u, 200, seed);
+    seed += 1000;
+    bench::print_row({"U = " + bench::fmt(u, 2), bench::fmt(r.fp_admit, 1),
+                      bench::fmt(r.budget_admit, 1), bench::fmt(r.tt_admit, 1),
+                      bench::fmt(r.mean_inflation, 2)});
+  }
+  std::puts(
+      "\nExpected shape (paper S1): budget enforcement costs a few\n"
+      "utilization percentage points — visible as an admission gap that\n"
+      "opens only near saturation (U >= 0.8), i.e. 'overhead, albeit not\n"
+      "prohibitive'. The non-preemptive TT table pays more (blocking), the\n"
+      "price of its perfect timing isolation; at moderate loads all three\n"
+      "admit everything.");
+  return 0;
+}

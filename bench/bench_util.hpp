@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benches: fixed-width table printing in
+// the style the paper's evaluation tables would use, and wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace orte::bench {
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Print a row of fixed-width cells (15 chars each, first cell 28).
+inline void print_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-28s" : "%15s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void print_rule(std::size_t cells) {
+  std::string line(28 + 15 * (cells - 1), '-');
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace orte::bench

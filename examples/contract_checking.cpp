@@ -1,0 +1,135 @@
+// Rich-component contract methodology (§3) on the brake-by-wire system:
+//   1. specify contracts (assumptions / guarantees / vertical assumptions),
+//   2. check horizontal compatibility of the composition,
+//   3. compose end-to-end latency and compare to the system requirement,
+//   4. check a candidate ECU mapping against vertical (resource) assumptions,
+//   5. refine the controller and verify dominance (substitutability),
+//   6. monitor a simulated trace against a timed-automaton deadline contract.
+#include <cstdio>
+
+#include "contracts/contract.hpp"
+#include "contracts/network.hpp"
+#include "contracts/timed_automaton.hpp"
+#include "sim/time.hpp"
+
+using namespace orte;
+using namespace orte::contracts;
+using sim::milliseconds;
+using sim::microseconds;
+
+int main() {
+  // --- 1. Contracts ---------------------------------------------------------
+  ContractNetwork net;
+
+  Contract pedal;
+  pedal.name = "pedal_sensor";
+  pedal.guarantees.push_back(
+      {.flow = "pedal_pos",
+       .range = {0, 1000},  // 0.1% resolution
+       .timing = {milliseconds(5), microseconds(200), milliseconds(1)},
+       .confidence = 0.95});
+  pedal.vertical = {.cpu_utilization = 0.05, .memory_bytes = 8 << 10,
+                    .confidence = 0.95};
+  net.add_component(pedal);
+
+  Contract ctrl;
+  ctrl.name = "brake_controller";
+  ctrl.assumptions.push_back(
+      {.flow = "pedal_pos",
+       .range = {0, 1023},
+       .timing = {milliseconds(5), milliseconds(1), milliseconds(4)}});
+  ctrl.guarantees.push_back(
+      {.flow = "force_cmd",
+       .range = {0, 5000},
+       .timing = {milliseconds(5), microseconds(500), milliseconds(3)},
+       .confidence = 0.9});
+  ctrl.vertical = {.cpu_utilization = 0.35, .memory_bytes = 64 << 10,
+                   .confidence = 0.8};
+  net.add_component(ctrl);
+
+  Contract wheel;
+  wheel.name = "wheel_actuator";
+  wheel.assumptions.push_back(
+      {.flow = "force_cmd",
+       .range = {0, 6000},
+       .timing = {milliseconds(5), milliseconds(1), milliseconds(5)}});
+  wheel.vertical = {.cpu_utilization = 0.15, .memory_bytes = 16 << 10,
+                    .confidence = 0.9};
+  net.add_component(wheel);
+
+  net.connect("pedal_sensor", "pedal_pos", "brake_controller", "pedal_pos");
+  net.connect("brake_controller", "force_cmd", "wheel_actuator", "force_cmd");
+
+  // --- 2. Horizontal compatibility -----------------------------------------
+  const auto compat = net.check_compatibility();
+  std::printf("compatibility: %s (confidence %.2f)\n",
+              compat.ok ? "OK" : "VIOLATED", compat.confidence);
+  for (const auto& v : compat.violations) std::printf("  ! %s\n", v.c_str());
+
+  // --- 3. End-to-end latency composition ------------------------------------
+  const auto e2e = net.end_to_end_latency(
+      {"pedal_sensor", "brake_controller", "wheel_actuator"});
+  const auto requirement = milliseconds(10);
+  std::printf("end-to-end latency bound: %.1f ms (requirement %.1f ms) -> %s\n",
+              sim::to_ms(e2e), sim::to_ms(requirement),
+              e2e >= 0 && e2e <= requirement ? "realizable" : "NOT realizable");
+
+  // --- 4. Vertical assumptions vs a candidate mapping -----------------------
+  const auto vertical_good = net.check_vertical(
+      {{"pedal_sensor", "ecu1"},
+       {"brake_controller", "ecu1"},
+       {"wheel_actuator", "ecu2"}},
+      {{.name = "ecu1", .cpu = 0.6, .memory_bytes = 128 << 10},
+       {.name = "ecu2", .cpu = 0.5, .memory_bytes = 64 << 10}});
+  std::printf("mapping {pedal+ctrl->ecu1, wheel->ecu2}: %s (confidence %.2f)\n",
+              vertical_good.ok ? "fits" : "overloaded",
+              vertical_good.confidence);
+
+  const auto vertical_bad = net.check_vertical(
+      {{"pedal_sensor", "tiny"},
+       {"brake_controller", "tiny"},
+       {"wheel_actuator", "tiny"}},
+      {{.name = "tiny", .cpu = 0.4, .memory_bytes = 32 << 10}});
+  std::printf("mapping {all->tiny}: %s\n",
+              vertical_bad.ok ? "fits" : "overloaded (as expected)");
+  for (const auto& v : vertical_bad.violations)
+    std::printf("  ! %s\n", v.c_str());
+
+  // --- 5. Refinement / dominance --------------------------------------------
+  Contract ctrl_v2 = ctrl;  // a faster controller from the next supplier drop
+  ctrl_v2.name = "brake_controller_v2";
+  ctrl_v2.guarantees[0].timing.latency = milliseconds(2);   // tighter
+  ctrl_v2.assumptions[0].timing.latency = milliseconds(6);  // more tolerant
+  std::printf("controller_v2 dominates v1: %s (drop-in replacement %s)\n",
+              dominates(ctrl_v2, ctrl) ? "yes" : "no",
+              dominates(ctrl_v2, ctrl) ? "allowed" : "forbidden");
+  std::printf("v1 dominates v2: %s (downgrades are rejected)\n",
+              dominates(ctrl, ctrl_v2) ? "yes" : "no");
+
+  // --- 6. Behavioural contract as a timed-automaton monitor ------------------
+  // Contract: every brake request must be answered by a force update within
+  // 4 time units (ms). Feed it two traces.
+  TimedAutomaton ta;
+  const int idle = ta.add_location("idle");
+  const int pending = ta.add_location("pending");
+  const int err = ta.add_location("deadline_missed", /*error=*/true);
+  const int clk = ta.add_clock("c");
+  using C = TimedAutomaton::Constraint;
+  ta.add_edge(idle, pending, "brake_request", {}, {clk});
+  ta.add_edge(pending, idle, "force_update", {{clk, C::Op::kLe, 4}});
+  ta.add_edge(pending, err, "force_update", {{clk, C::Op::kGt, 4}});
+
+  const auto good = ta.run({{0, "brake_request"}, {3, "force_update"},
+                            {10, "brake_request"}, {2, "force_update"}});
+  const auto bad = ta.run({{0, "brake_request"}, {7, "force_update"}});
+  std::printf("trace conformance: nominal=%s, degraded=%s (failed at event %zu)\n",
+              good.accepted ? "pass" : "fail",
+              bad.accepted ? "pass" : "fail", bad.failed_at);
+
+  const bool all_ok = compat.ok && e2e <= requirement && vertical_good.ok &&
+                      !vertical_bad.ok && dominates(ctrl_v2, ctrl) &&
+                      good.accepted && !bad.accepted;
+  std::puts(all_ok ? "\n=> contract methodology checks all pass"
+                   : "\n=> UNEXPECTED contract verdicts");
+  return all_ok ? 0 : 1;
+}

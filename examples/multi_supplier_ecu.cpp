@@ -1,0 +1,112 @@
+// Multi-supplier ECU integration with timing isolation.
+//
+// The paper's §1 scenario: "application tasks from multiple Tier-1 suppliers
+// are integrated into the same ECU ... protecting the tasks of each IP from
+// the functional and timing errors of other IPs is of fundamental
+// importance."
+//
+// Three suppliers share one ECU, each inside its own CPU partition
+// (reservation). Supplier B ships a defective task that overruns x5 between
+// t = 2 s and t = 4 s. The run shows:
+//   * supplier A and C keep every deadline (timing isolation),
+//   * B's overruns are throttled by its partition and detected by alive
+//     supervision, which files a DTC and drives B's mode machine to LIMP.
+#include <cstdio>
+
+#include "bsw/dem.hpp"
+#include "bsw/mode.hpp"
+#include "bsw/watchdog.hpp"
+#include "isolation/fault_injection.hpp"
+#include "isolation/monitor.hpp"
+#include "os/ecu.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+using namespace orte;
+using sim::milliseconds;
+using sim::microseconds;
+
+int main() {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  os::Ecu ecu(kernel, trace, "central_ecu");
+  isolation::ContainmentMonitor monitor(trace);
+
+  // One reservation per supplier: the ECU integrator hands out CPU shares.
+  const int part_a = ecu.add_partition(
+      {.name = "supplierA", .budget = milliseconds(2), .period = milliseconds(10)});
+  const int part_b = ecu.add_partition(
+      {.name = "supplierB", .budget = milliseconds(3), .period = milliseconds(10)});
+  const int part_c = ecu.add_partition(
+      {.name = "supplierC", .budget = milliseconds(4), .period = milliseconds(10)});
+
+  auto& a = ecu.add_task({.name = "A_engine_monitor", .priority = 3,
+                          .period = milliseconds(5),
+                          .relative_deadline = milliseconds(5),
+                          .partition = part_a});
+  a.set_body(microseconds(800));
+
+  auto& b = ecu.add_task({.name = "B_comfort_ctrl", .priority = 2,
+                          .period = milliseconds(10),
+                          .relative_deadline = milliseconds(10),
+                          .partition = part_b});
+  // B's contract says 2.5 ms; the defect makes it 12.5 ms during [2s, 4s).
+  b.add_segment({.duration = isolation::overrunning_wcet(
+                     kernel, microseconds(2500), 5.0, sim::seconds(2),
+                     sim::seconds(4))});
+
+  auto& c = ecu.add_task({.name = "C_body_gateway", .priority = 1,
+                          .period = milliseconds(10),
+                          .relative_deadline = milliseconds(10),
+                          .partition = part_c});
+  c.set_body(milliseconds(3));
+
+  // Health management: alive supervision per supplier task + DEM + modes.
+  // B nominally completes 5 jobs per 50 ms supervision cycle; when its
+  // partition throttles the overruns, the completion rate collapses to ~1 —
+  // the alive supervision demands at least 4.
+  bsw::WatchdogManager wdg(kernel, trace, milliseconds(50));
+  wdg.supervise({.entity = "B_alive", .min_indications = 4,
+                 .failed_cycles_tolerance = 1});
+  b.on_complete([&](sim::Time, sim::Time) { wdg.checkpoint("B_alive"); });
+
+  bsw::Dem dem(kernel, trace);
+  dem.add_event({.name = "B_timing_fault", .debounce_threshold = 1});
+  bsw::ModeMachine b_mode(kernel, trace, "supplierB", "RUN");
+  b_mode.add_mode("LIMP");
+  b_mode.add_transition("RUN", "LIMP");
+  wdg.on_violation([&](const std::string&, std::uint32_t) {
+    dem.report("B_timing_fault", bsw::EventStatus::kFailed);
+    b_mode.request("LIMP");
+  });
+
+  ecu.start();
+  wdg.start();
+  kernel.run_until(sim::seconds(6));
+
+  std::puts("multi-supplier ECU, supplier B overruns x5 during [2s, 4s)");
+  std::puts("task                jobs   kills  deadline-misses");
+  for (const auto& t : ecu.tasks()) {
+    std::printf("%-18s %6llu  %5llu  %6llu\n", t->name().c_str(),
+                static_cast<unsigned long long>(t->jobs_completed()),
+                static_cast<unsigned long long>(t->jobs_killed()),
+                static_cast<unsigned long long>(t->deadline_misses()));
+  }
+  std::printf("\npartition throttles: A=%llu B=%llu C=%llu\n",
+              static_cast<unsigned long long>(ecu.partition_throttles(part_a)),
+              static_cast<unsigned long long>(ecu.partition_throttles(part_b)),
+              static_cast<unsigned long long>(ecu.partition_throttles(part_c)));
+  std::printf("victim deadline misses (A+C): %llu\n",
+              static_cast<unsigned long long>(monitor.victim_misses("B_")));
+  std::printf("watchdog violations: %llu, DTC stored: %s, supplier B mode: %s\n",
+              static_cast<unsigned long long>(wdg.violations()),
+              dem.dtc("B_timing_fault").has_value() ? "yes" : "no",
+              b_mode.current().c_str());
+
+  const bool isolated = monitor.victim_misses("B_") == 0 &&
+                        dem.dtc("B_timing_fault").has_value() &&
+                        b_mode.in("LIMP");
+  std::puts(isolated ? "\n=> fault contained to supplier B"
+                     : "\n=> ISOLATION FAILED");
+  return isolated ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+#include "analysis/e2e.hpp"
+
+namespace orte::analysis {
+
+E2eResult e2e_latency(const std::vector<Stage>& chain) {
+  E2eResult r;
+  for (const auto& s : chain) {
+    r.worst += s.response;
+    r.best += 0;  // a stage can complete arbitrarily fast in the best case
+    if (s.sampled) {
+      r.worst += s.period;  // just missed the sampling instant
+      // Best case: sampled immediately — adds nothing.
+    }
+  }
+  r.jitter = r.worst - r.best;
+  return r;
+}
+
+}  // namespace orte::analysis

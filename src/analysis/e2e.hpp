@@ -1,0 +1,37 @@
+// End-to-end latency composition (§3: "assess realizability of end-to-end
+// latencies at system level").
+//
+// A computation path is a chain of stages (tasks and messages). Two coupling
+// semantics per stage boundary, following the automotive timing literature:
+//  * direct/event-triggered: the downstream stage is activated by the
+//    upstream completion — contributes only its response time,
+//  * sampled/periodic: the downstream stage polls on its own period — adds a
+//    worst-case sampling delay of one period (+ its response time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace orte::analysis {
+
+using sim::Duration;
+
+struct Stage {
+  std::string name;
+  Duration response = 0;  ///< Worst-case response/transmission bound.
+  Duration period = 0;    ///< Sampling period (used when sampled).
+  bool sampled = false;   ///< True: asynchronous periodic pick-up.
+};
+
+struct E2eResult {
+  Duration worst = 0;
+  Duration best = 0;  ///< Sum of minimal stage times (no sampling waits).
+  Duration jitter = 0;
+};
+
+/// Worst/best-case end-to-end latency over the chain.
+E2eResult e2e_latency(const std::vector<Stage>& chain);
+
+}  // namespace orte::analysis

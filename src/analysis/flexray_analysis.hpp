@@ -1,0 +1,51 @@
+// FlexRay timing analysis: latency bounds for signals in the static (TDMA)
+// segment and a sufficient schedulability test for the dynamic segment.
+//
+// Static segment: a signal in slot s is delivered at the end of slot s every
+// cycle. A write that *just* misses the slot's transmission start waits one
+// full cycle, so:
+//   best  = time from slot start to slot end          = slot_len
+//   worst = cycle_len + slot_len
+//   jitter of the delivery *instants* = 0 (strictly periodic) — the
+//   paper's timing-isolation claim in its purest form.
+// Dynamic segment: frame m (priority = id order) is transmitted in the first
+// cycle where every higher-priority pending frame plus m fits into the
+// minislot budget; we provide the standard sufficient bound in cycles.
+#pragma once
+
+#include <optional>
+
+#include "flexray/flexray_bus.hpp"
+#include "sim/time.hpp"
+
+namespace orte::analysis {
+
+using sim::Duration;
+
+struct FlexRayStaticLatency {
+  Duration best = 0;
+  Duration worst = 0;
+  /// Sender-side waiting jitter (worst - best); delivery instants themselves
+  /// are periodic with zero jitter.
+  Duration write_to_delivery_jitter = 0;
+};
+
+/// Latency bounds from an application write to delivery for static slot
+/// `slot` (1-based) under the given bus configuration.
+FlexRayStaticLatency flexray_static_latency(const flexray::FlexRayConfig& cfg,
+                                            std::uint32_t slot);
+
+/// Worst-case number of communication cycles a dynamic frame with
+/// `minislots_needed` waits, given the total higher-priority demand in
+/// minislots per cycle. nullopt = may be deferred indefinitely (demand
+/// exceeds the per-cycle budget).
+std::optional<int> flexray_dynamic_cycles(std::size_t minislots_total,
+                                          std::size_t hp_demand,
+                                          std::size_t minislots_needed);
+
+/// Communication cycle length implied by a configuration.
+Duration flexray_cycle_length(const flexray::FlexRayConfig& cfg);
+/// Static slot length implied by a configuration.
+Duration flexray_slot_length(const flexray::FlexRayConfig& cfg);
+
+}  // namespace orte::analysis

@@ -1,0 +1,80 @@
+#include "analysis/frame_packing.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "can/can_bus.hpp"
+
+namespace orte::analysis {
+
+namespace {
+double utilization_of(const std::vector<PackedFrame>& frames,
+                      std::int64_t bitrate_bps) {
+  double u = 0.0;
+  for (const auto& f : frames) {
+    const std::size_t bytes = (f.used_bits + 7) / 8;
+    u += static_cast<double>(
+             can::frame_transmission_time(std::max<std::size_t>(bytes, 1),
+                                          bitrate_bps)) /
+         static_cast<double>(f.period);
+  }
+  return u;
+}
+}  // namespace
+
+PackingResult pack_signals(std::vector<PackSignal> signals,
+                           std::size_t frame_bits, std::int64_t bitrate_bps) {
+  for (const auto& s : signals) {
+    if (s.bits == 0 || s.bits > frame_bits) {
+      throw std::invalid_argument("signal does not fit a frame: " + s.name);
+    }
+    if (s.period <= 0) {
+      throw std::invalid_argument("signal needs a period: " + s.name);
+    }
+  }
+  // Group by period; FFD within each group.
+  std::map<sim::Duration, std::vector<PackSignal>> by_period;
+  for (auto& s : signals) by_period[s.period].push_back(std::move(s));
+
+  PackingResult result;
+  for (auto& [period, group] : by_period) {
+    std::sort(group.begin(), group.end(),
+              [](const PackSignal& a, const PackSignal& b) {
+                if (a.bits != b.bits) return a.bits > b.bits;
+                return a.name < b.name;
+              });
+    std::vector<PackedFrame> frames;
+    for (const auto& s : group) {
+      PackedFrame* slot = nullptr;
+      for (auto& f : frames) {
+        if (f.used_bits + s.bits <= frame_bits) {
+          slot = &f;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        frames.push_back(PackedFrame{{}, {}, 0, period});
+        slot = &frames.back();
+      }
+      slot->signals.push_back(s.name);
+      slot->offsets.push_back(slot->used_bits);
+      slot->used_bits += s.bits;
+    }
+    for (auto& f : frames) result.frames.push_back(std::move(f));
+  }
+  result.can_utilization = utilization_of(result.frames, bitrate_bps);
+  return result;
+}
+
+PackingResult pack_naive(const std::vector<PackSignal>& signals,
+                         std::int64_t bitrate_bps) {
+  PackingResult result;
+  for (const auto& s : signals) {
+    result.frames.push_back(PackedFrame{{s.name}, {0}, s.bits, s.period});
+  }
+  result.can_utilization = utilization_of(result.frames, bitrate_bps);
+  return result;
+}
+
+}  // namespace orte::analysis

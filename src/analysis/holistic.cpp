@@ -1,0 +1,171 @@
+#include "analysis/holistic.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace orte::analysis {
+
+void HolisticModel::add_task(DistTask task) {
+  for (const auto& t : tasks_) {
+    if (t.name == task.name) {
+      throw std::invalid_argument("duplicate task " + task.name);
+    }
+  }
+  tasks_.push_back(std::move(task));
+}
+
+void HolisticModel::add_message(DistMessage message) {
+  (void)task(message.from_task);  // validation: throws on unknown
+  (void)task(message.to_task);
+  messages_.push_back(std::move(message));
+}
+
+const DistTask& HolisticModel::task(const std::string& name) const {
+  for (const auto& t : tasks_) {
+    if (t.name == name) return t;
+  }
+  throw std::invalid_argument("unknown task " + name);
+}
+
+HolisticResult HolisticModel::analyze(std::int64_t can_bitrate_bps,
+                                      int max_iterations) const {
+  HolisticResult result;
+
+  // Derive each task's effective period: chain heads carry their own; a
+  // triggered task inherits the period of the chain head feeding it.
+  std::map<std::string, Duration> period;
+  std::map<std::string, std::string> triggered_by;  // task -> message
+  std::map<std::string, std::string> msg_source;    // message -> task
+  for (const auto& t : tasks_) period[t.name] = t.period;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& m : messages_) {
+      msg_source[m.name] = m.from_task;
+      triggered_by[m.to_task] = m.name;
+      const Duration src = period.at(m.from_task);
+      if (src > 0 && period.at(m.to_task) != src) {
+        period[m.to_task] = src;
+        changed = true;
+      }
+    }
+  }
+  for (const auto& t : tasks_) {
+    if (period.at(t.name) <= 0) {
+      throw std::invalid_argument("task without derivable period: " + t.name);
+    }
+  }
+
+  // Fixpoint: jitters start at 0 and grow monotonically.
+  std::map<std::string, Duration> task_jitter;
+  std::map<std::string, Duration> msg_jitter;
+  for (const auto& t : tasks_) task_jitter[t.name] = 0;
+  for (const auto& m : messages_) msg_jitter[m.name] = 0;
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    result.iterations = iter;
+    // 1. Per-ECU task analysis with current jitters.
+    std::map<std::string, Duration> task_resp;
+    std::set<std::string> ecus;
+    for (const auto& t : tasks_) ecus.insert(t.ecu);
+    bool all_ok = true;
+    for (const auto& ecu : ecus) {
+      std::vector<AnalysisTask> local;
+      for (const auto& t : tasks_) {
+        if (t.ecu != ecu) continue;
+        AnalysisTask a;
+        a.name = t.name;
+        a.wcet = t.wcet;
+        a.period = period.at(t.name);
+        // Allow responses beyond the period during iteration; divergence is
+        // detected against the 4x-period cap below.
+        a.deadline = 4 * a.period;
+        a.jitter = task_jitter.at(t.name);
+        a.priority = t.priority;
+        local.push_back(a);
+      }
+      for (const auto& a : local) {
+        const auto r = response_time(a, local);
+        if (!r.has_value()) {
+          all_ok = false;
+          continue;
+        }
+        task_resp[a.name] = *r;
+      }
+    }
+    if (!all_ok) return result;  // schedulable stays false
+
+    // 2. Bus analysis with message jitter = sender response.
+    std::vector<CanMessage> bus;
+    for (const auto& m : messages_) {
+      CanMessage c;
+      c.name = m.name;
+      c.id = m.id;
+      c.bytes = m.bytes;
+      c.period = period.at(m.from_task);
+      c.jitter = task_resp.at(m.from_task);
+      bus.push_back(c);
+    }
+    std::map<std::string, Duration> msg_resp;
+    for (const auto& c : bus) {
+      const auto r = can_response_time(c, bus, can_bitrate_bps);
+      if (!r.has_value()) return result;
+      msg_resp[c.name] = *r;
+    }
+
+    // 3. Propagate: receiving tasks inherit message response as jitter.
+    bool stable = true;
+    for (const auto& m : messages_) {
+      const Duration j = msg_resp.at(m.name);
+      if (task_jitter.at(m.to_task) != j) {
+        task_jitter[m.to_task] = j;
+        stable = false;
+      }
+    }
+    // Divergence guard: any response beyond 4 periods = hopeless.
+    for (const auto& [name, r] : task_resp) {
+      if (r > 4 * period.at(name)) return result;
+    }
+
+    if (stable) {
+      // Converged. Final verdict: every response within its (implicit)
+      // period — the iteration deliberately tolerated larger intermediate
+      // values, but R > T is unschedulable under this single-busy-period
+      // analysis.
+      for (const auto& [name, r] : task_resp) {
+        if (r > period.at(name)) return result;
+      }
+      for (const auto& m : messages_) {
+        if (msg_resp.at(m.name) > period.at(m.from_task)) return result;
+      }
+      result.schedulable = true;
+      result.task_response = task_resp;
+      result.message_response = msg_resp;
+      // Chain latency from the head's release: a stage's response time
+      // already includes its inherited jitter (R = J + w), and the jitter
+      // carries the whole upstream chain — so end-to-end is simply the last
+      // stage's response.
+      for (const auto& t : tasks_) {
+        if (triggered_by.count(t.name)) continue;  // not a head
+        std::string cursor = t.name;
+        while (true) {
+          const DistMessage* next = nullptr;
+          for (const auto& m : messages_) {
+            if (m.from_task == cursor) {
+              next = &m;
+              break;
+            }
+          }
+          if (next == nullptr) break;
+          cursor = next->to_task;
+        }
+        result.chain_latency[t.name] = task_resp.at(cursor);
+      }
+      return result;
+    }
+  }
+  return result;  // did not converge within max_iterations
+}
+
+}  // namespace orte::analysis

@@ -1,0 +1,44 @@
+#include "analysis/sensitivity.hpp"
+
+namespace orte::analysis {
+
+namespace {
+std::vector<AnalysisTask> scaled(const std::vector<AnalysisTask>& taskset,
+                                 double alpha) {
+  std::vector<AnalysisTask> out = taskset;
+  for (auto& t : out) {
+    t.wcet = static_cast<sim::Duration>(static_cast<double>(t.wcet) * alpha);
+  }
+  return out;
+}
+}  // namespace
+
+double wcet_scaling_limit(const std::vector<AnalysisTask>& taskset,
+                          double tolerance, double upper) {
+  if (!analyze(taskset).schedulable) return 0.0;
+  double lo = 1.0;
+  double hi = upper;
+  if (analyze(scaled(taskset, hi)).schedulable) return hi;
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2;
+    if (analyze(scaled(taskset, mid)).schedulable) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::map<std::string, sim::Duration> task_slack(
+    const std::vector<AnalysisTask>& taskset) {
+  std::map<std::string, sim::Duration> out;
+  for (const auto& t : taskset) {
+    const auto r = response_time(t, taskset);
+    const sim::Duration deadline = t.deadline > 0 ? t.deadline : t.period;
+    out[t.name] = r.has_value() ? deadline - *r : -1;
+  }
+  return out;
+}
+
+}  // namespace orte::analysis

@@ -1,0 +1,29 @@
+// Sensitivity & extensibility metrics over the response-time analysis.
+//
+// The paper frames "composability and extensibility vs efficiency" (§1) as a
+// quantifiable trade: how much can execution demand grow before the system
+// breaks? We use the standard WCET-scaling metric (binary search for the
+// largest uniform scale factor preserving schedulability) — also known as
+// the extensibility/elasticity metric of Zhu & Di Natale — plus per-task
+// slack.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/rta.hpp"
+
+namespace orte::analysis {
+
+/// Largest alpha such that the task set with every WCET scaled by alpha is
+/// schedulable; 0 when already unschedulable. Bisected to `tolerance`.
+double wcet_scaling_limit(const std::vector<AnalysisTask>& taskset,
+                          double tolerance = 1e-3, double upper = 16.0);
+
+/// Per-task slack: deadline minus worst-case response (ns); negative =
+/// unschedulable (reported as -1 when the recurrence diverges).
+std::map<std::string, sim::Duration> task_slack(
+    const std::vector<AnalysisTask>& taskset);
+
+}  // namespace orte::analysis

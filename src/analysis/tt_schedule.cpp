@@ -1,0 +1,74 @@
+#include "analysis/tt_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace orte::analysis {
+
+Duration hyperperiod(const std::vector<TtJobSpec>& specs) {
+  Duration h = 1;
+  for (const auto& s : specs) {
+    if (s.period <= 0) {
+      throw std::invalid_argument("TT job needs a positive period: " + s.task);
+    }
+    h = std::lcm(h, s.period);
+  }
+  return h;
+}
+
+std::optional<TtSchedule> synthesize_schedule(
+    const std::vector<TtJobSpec>& specs) {
+  if (specs.empty()) return TtSchedule{{}, 1, {}};
+  const Duration cycle = hyperperiod(specs);
+
+  struct Job {
+    const TtJobSpec* spec = nullptr;
+    Duration release = 0;
+    Duration deadline = 0;
+  };
+  std::vector<Job> jobs;
+  for (const auto& s : specs) {
+    const Duration rel_deadline = s.deadline > 0 ? s.deadline : s.period;
+    for (Duration r = 0; r < cycle; r += s.period) {
+      jobs.push_back(Job{&s, r, r + rel_deadline});
+    }
+  }
+  // EDF order; ties by release then name for determinism.
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    if (a.release != b.release) return a.release < b.release;
+    return a.spec->task < b.spec->task;
+  });
+
+  // Greedy placement on a single timeline of busy windows.
+  std::vector<std::pair<Duration, Duration>> busy;  // sorted [start, end)
+  TtSchedule schedule;
+  schedule.cycle = cycle;
+  for (const auto& job : jobs) {
+    Duration start = job.release;
+    bool placed = false;
+    while (!placed) {
+      placed = true;
+      for (const auto& [b0, b1] : busy) {
+        if (start < b1 && start + job.spec->wcet > b0) {
+          start = b1;  // shift past the collision
+          placed = false;
+        }
+      }
+      if (start + job.spec->wcet > job.deadline) return std::nullopt;
+    }
+    busy.emplace_back(start, start + job.spec->wcet);
+    std::sort(busy.begin(), busy.end());
+    schedule.entries.push_back(os::TableEntry{start, job.spec->task});
+    schedule.windows.emplace_back(start, start + job.spec->wcet);
+  }
+  std::sort(schedule.entries.begin(), schedule.entries.end(),
+            [](const os::TableEntry& a, const os::TableEntry& b) {
+              return a.offset < b.offset;
+            });
+  std::sort(schedule.windows.begin(), schedule.windows.end());
+  return schedule;
+}
+
+}  // namespace orte::analysis

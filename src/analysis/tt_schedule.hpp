@@ -1,0 +1,43 @@
+// Time-triggered schedule-table synthesis.
+//
+// "Time triggered architectures can provide timing isolation, but require
+//  careful planning and tool support" (§1) — this is the tool support: given
+// periodic jobs, build a non-overlapping dispatch table over the hyperperiod
+// (EDF-ordered greedy placement, which is optimal for non-preemptive
+// placement feasibility in the common harmonic-period automotive case).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/ecu.hpp"
+#include "sim/time.hpp"
+
+namespace orte::analysis {
+
+using sim::Duration;
+
+struct TtJobSpec {
+  std::string task;
+  Duration period = 0;
+  Duration wcet = 0;
+  Duration deadline = 0;  ///< 0 = implicit (== period).
+};
+
+struct TtSchedule {
+  std::vector<os::TableEntry> entries;  ///< Activation offsets per job.
+  Duration cycle = 0;                   ///< Hyperperiod.
+  /// Start/finish window reserved per entry (diagnostics / utilization).
+  std::vector<std::pair<Duration, Duration>> windows;
+};
+
+/// Build a dispatch table over the hyperperiod; nullopt when some job cannot
+/// meet its deadline non-preemptively.
+std::optional<TtSchedule> synthesize_schedule(
+    const std::vector<TtJobSpec>& specs);
+
+/// lcm of all periods (the table cycle).
+Duration hyperperiod(const std::vector<TtJobSpec>& specs);
+
+}  // namespace orte::analysis

@@ -1,0 +1,85 @@
+#include "bsw/dcm.hpp"
+
+namespace orte::bsw {
+
+Dcm::Dcm(sim::Kernel& kernel, sim::Trace& trace, Dem& dem)
+    : kernel_(kernel), trace_(trace), dem_(dem) {}
+
+void Dcm::add_did(std::uint16_t did, DidReader reader) {
+  dids_[did] = std::move(reader);
+}
+
+std::vector<std::uint8_t> Dcm::handle(
+    const std::vector<std::uint8_t>& request) {
+  ++requests_;
+  if (request.empty()) return negative(0x00, kNrcInvalidFormat);
+  const std::uint8_t sid = request[0];
+  trace_.emit(kernel_.now(), "dcm.request", "dcm", sid);
+  switch (sid) {
+    case 0x10: return session_control(request);
+    case 0x14: return clear_dtcs(request);
+    case 0x19: return read_dtcs(request);
+    case 0x22: return read_did(request);
+    case 0x3E:  // TesterPresent
+      if (request.size() != 2) return negative(sid, kNrcInvalidFormat);
+      return {0x7E, request[1]};
+    default:
+      return negative(sid, kNrcServiceNotSupported);
+  }
+}
+
+std::vector<std::uint8_t> Dcm::session_control(
+    const std::vector<std::uint8_t>& request) {
+  if (request.size() != 2) return negative(0x10, kNrcInvalidFormat);
+  switch (request[1]) {
+    case 0x01: session_ = Session::kDefault; break;
+    case 0x03: session_ = Session::kExtended; break;
+    default: return negative(0x10, kNrcSubFunctionNotSupported);
+  }
+  trace_.emit(kernel_.now(), "dcm.session", "dcm", request[1]);
+  return {0x50, request[1]};
+}
+
+std::vector<std::uint8_t> Dcm::clear_dtcs(
+    const std::vector<std::uint8_t>& request) {
+  if (request.size() != 4) return negative(0x14, kNrcInvalidFormat);
+  if (session_ != Session::kExtended) {
+    return negative(0x14, kNrcNotSupportedInSession);
+  }
+  dem_.clear_all();
+  return {0x54};
+}
+
+std::vector<std::uint8_t> Dcm::read_dtcs(
+    const std::vector<std::uint8_t>& request) {
+  if (request.size() != 3) return negative(0x19, kNrcInvalidFormat);
+  if (request[1] != 0x02) return negative(0x19, kNrcSubFunctionNotSupported);
+  const std::uint8_t mask = request[2];
+  std::vector<std::uint8_t> response{0x59, 0x02, mask};
+  for (const auto& dtc : dem_.stored_dtcs()) {
+    // Status byte: bit0 testFailed (confirmed), bit3 confirmedDTC (stored).
+    const std::uint8_t status =
+        static_cast<std::uint8_t>((dtc.confirmed ? 0x01 : 0x00) | 0x08);
+    if ((status & mask) == 0 && mask != 0xFF) continue;
+    response.push_back(static_cast<std::uint8_t>(dtc.code >> 16));
+    response.push_back(static_cast<std::uint8_t>(dtc.code >> 8));
+    response.push_back(static_cast<std::uint8_t>(dtc.code));
+    response.push_back(status);
+  }
+  return response;
+}
+
+std::vector<std::uint8_t> Dcm::read_did(
+    const std::vector<std::uint8_t>& request) {
+  if (request.size() != 3) return negative(0x22, kNrcInvalidFormat);
+  const std::uint16_t did = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(request[1]) << 8) | request[2]);
+  auto it = dids_.find(did);
+  if (it == dids_.end()) return negative(0x22, kNrcRequestOutOfRange);
+  std::vector<std::uint8_t> response{0x62, request[1], request[2]};
+  const auto data = it->second();
+  response.insert(response.end(), data.begin(), data.end());
+  return response;
+}
+
+}  // namespace orte::bsw

@@ -1,0 +1,74 @@
+// Diagnostic Communication Manager: a UDS (ISO 14229) service subset over
+// the DEM — the tester-facing half of Figure 1's "Diagnostics" block.
+//
+// Supported services:
+//   0x10 DiagnosticSessionControl (01 default, 03 extended)
+//   0x14 ClearDiagnosticInformation
+//   0x19 ReadDTCInformation (sub 0x02: report DTCs by status mask)
+//   0x22 ReadDataByIdentifier (application-registered data sources)
+//   0x3E TesterPresent
+// Responses follow UDS framing: positive = SID+0x40 ..., negative =
+// 0x7F SID NRC. Clearing and DID reads outside the extended session are
+// rejected with NRC 0x7F (serviceNotSupportedInActiveSession).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "bsw/dem.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace orte::bsw {
+
+/// UDS negative response codes used here.
+enum : std::uint8_t {
+  kNrcServiceNotSupported = 0x11,
+  kNrcSubFunctionNotSupported = 0x12,
+  kNrcInvalidFormat = 0x13,
+  kNrcRequestOutOfRange = 0x31,
+  kNrcNotSupportedInSession = 0x7F,
+};
+
+class Dcm {
+ public:
+  enum class Session : std::uint8_t { kDefault = 0x01, kExtended = 0x03 };
+  using DidReader = std::function<std::vector<std::uint8_t>()>;
+
+  Dcm(sim::Kernel& kernel, sim::Trace& trace, Dem& dem);
+
+  /// Register a data identifier (service 0x22 source).
+  void add_did(std::uint16_t did, DidReader reader);
+
+  /// Handle one diagnostic request, returning the UDS response bytes.
+  std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& request);
+
+  [[nodiscard]] Session session() const { return session_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+
+ private:
+  static std::vector<std::uint8_t> negative(std::uint8_t sid,
+                                            std::uint8_t nrc) {
+    return {0x7F, sid, nrc};
+  }
+
+  std::vector<std::uint8_t> session_control(
+      const std::vector<std::uint8_t>& request);
+  std::vector<std::uint8_t> clear_dtcs(
+      const std::vector<std::uint8_t>& request);
+  std::vector<std::uint8_t> read_dtcs(
+      const std::vector<std::uint8_t>& request);
+  std::vector<std::uint8_t> read_did(
+      const std::vector<std::uint8_t>& request);
+
+  sim::Kernel& kernel_;
+  sim::Trace& trace_;
+  Dem& dem_;
+  Session session_ = Session::kDefault;
+  std::map<std::uint16_t, DidReader> dids_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace orte::bsw

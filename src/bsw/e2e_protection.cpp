@@ -1,0 +1,90 @@
+#include "bsw/e2e_protection.hpp"
+
+#include <stdexcept>
+
+namespace orte::bsw {
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& data, std::uint8_t start) {
+  std::uint8_t crc = start;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x1D)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return static_cast<std::uint8_t>(crc ^ 0xFF);  // final XOR per J1850
+}
+
+namespace {
+// Frame layout: [0] = counter (low nibble), [1] = crc, [2..] = payload.
+constexpr std::size_t kHeaderBytes = 2;
+
+std::uint8_t compute_crc(std::uint16_t data_id, std::uint8_t counter,
+                         const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(3 + payload.size());
+  buf.push_back(static_cast<std::uint8_t>(data_id & 0xFF));
+  buf.push_back(static_cast<std::uint8_t>(data_id >> 8));
+  buf.push_back(counter);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return crc8(buf);
+}
+}  // namespace
+
+std::vector<std::uint8_t> E2eProtector::protect(
+    std::vector<std::uint8_t> payload) {
+  counter_ = static_cast<std::uint8_t>((counter_ + 1) & 0x0F);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.push_back(counter_);
+  frame.push_back(compute_crc(cfg_.data_id, counter_, payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+E2eChecker::Result E2eChecker::check(const std::vector<std::uint8_t>& frame) {
+  Result result;
+  if (frame.size() < kHeaderBytes) {
+    result.status = E2eStatus::kWrongCrc;
+    ++errors_;
+    return result;
+  }
+  const std::uint8_t counter = frame[0] & 0x0F;
+  const std::uint8_t crc = frame[1];
+  std::vector<std::uint8_t> payload(frame.begin() + kHeaderBytes, frame.end());
+  if (compute_crc(cfg_.data_id, counter, payload) != crc) {
+    result.status = E2eStatus::kWrongCrc;
+    ++errors_;
+    return result;
+  }
+  if (!have_counter_) {
+    have_counter_ = true;
+    last_counter_ = counter;
+    result.status = E2eStatus::kOk;
+    result.payload = std::move(payload);
+    ++ok_;
+    return result;
+  }
+  const std::uint8_t delta =
+      static_cast<std::uint8_t>((counter - last_counter_) & 0x0F);
+  last_counter_ = counter;
+  if (delta == 0) {
+    result.status = E2eStatus::kRepeated;
+    ++errors_;
+  } else if (delta == 1) {
+    result.status = E2eStatus::kOk;
+    result.payload = std::move(payload);
+    ++ok_;
+  } else if (delta <= cfg_.max_delta) {
+    result.status = E2eStatus::kOkSomeLost;
+    result.payload = std::move(payload);
+    ++ok_;
+  } else {
+    result.status = E2eStatus::kWrongSequence;
+    ++errors_;
+  }
+  return result;
+}
+
+}  // namespace orte::bsw

@@ -1,0 +1,72 @@
+// End-to-end communication protection (AUTOSAR E2E profile 1 style).
+//
+// §2's error-handling use cases include "communication errors": COM only
+// protects the link layer; safety-critical signals additionally carry an
+// alive counter and a CRC over payload+counter+data-id so the *receiver
+// application* can detect corruption, masquerading, loss, duplication and
+// stale data regardless of which layer failed. This is the mechanism that
+// lets SWCs of different criticality share one bus (§4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orte::bsw {
+
+/// CRC-8 SAE J1850 (poly 0x1D), as used by E2E profile 1.
+std::uint8_t crc8(const std::vector<std::uint8_t>& data,
+                  std::uint8_t start = 0xFF);
+
+enum class E2eStatus {
+  kOk,           ///< Fresh, intact data; counter advanced by exactly 1.
+  kOkSomeLost,   ///< Intact, but 2..max_delta counter steps: tolerable loss.
+  kRepeated,     ///< Same counter as last time: stale or duplicated.
+  kWrongCrc,     ///< Corruption or masquerading (data-id mismatch).
+  kWrongSequence,///< Counter jumped beyond the configured tolerance.
+  kNoNewData,    ///< check() called without a reception.
+};
+
+struct E2eConfig {
+  std::uint16_t data_id = 0;      ///< Guards against masquerading.
+  std::uint8_t max_delta = 2;     ///< Tolerated counter advance per check.
+};
+
+/// Sender side: wraps a payload with [counter | crc] header.
+class E2eProtector {
+ public:
+  explicit E2eProtector(E2eConfig cfg) : cfg_(cfg) {}
+
+  /// Returns header + payload; advances the alive counter (wraps at 0x0F,
+  /// per profile 1's 4-bit counter).
+  std::vector<std::uint8_t> protect(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::uint8_t counter() const { return counter_; }
+
+ private:
+  E2eConfig cfg_;
+  std::uint8_t counter_ = 0;
+};
+
+/// Receiver side: validates and strips the header.
+class E2eChecker {
+ public:
+  explicit E2eChecker(E2eConfig cfg) : cfg_(cfg) {}
+
+  struct Result {
+    E2eStatus status = E2eStatus::kNoNewData;
+    std::vector<std::uint8_t> payload;  ///< Valid only when status is Ok*.
+  };
+  Result check(const std::vector<std::uint8_t>& frame);
+
+  [[nodiscard]] std::uint64_t ok_count() const { return ok_; }
+  [[nodiscard]] std::uint64_t error_count() const { return errors_; }
+
+ private:
+  E2eConfig cfg_;
+  bool have_counter_ = false;
+  std::uint8_t last_counter_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace orte::bsw

@@ -1,0 +1,41 @@
+#include "bsw/mode.hpp"
+
+#include <stdexcept>
+
+namespace orte::bsw {
+
+ModeMachine::ModeMachine(sim::Kernel& kernel, sim::Trace& trace,
+                         std::string name, std::string initial_mode)
+    : kernel_(kernel),
+      trace_(trace),
+      name_(std::move(name)),
+      current_(std::move(initial_mode)) {
+  modes_.insert(current_);
+}
+
+void ModeMachine::add_mode(std::string mode) { modes_.insert(std::move(mode)); }
+
+void ModeMachine::add_transition(std::string from, std::string to) {
+  if (modes_.find(from) == modes_.end() || modes_.find(to) == modes_.end()) {
+    throw std::invalid_argument("transition references undeclared mode");
+  }
+  allowed_.emplace(std::move(from), std::move(to));
+}
+
+bool ModeMachine::request(std::string_view target) {
+  const std::string to(target);
+  if (current_ == to) return true;  // already there
+  if (allowed_.find({current_, to}) == allowed_.end()) {
+    ++rejected_;
+    trace_.emit(kernel_.now(), "mode.rejected", name_, 0, to);
+    return false;
+  }
+  const std::string from = current_;
+  current_ = to;
+  ++transitions_;
+  trace_.emit(kernel_.now(), "mode.switch", name_, 0, from + "->" + to);
+  for (const auto& cb : callbacks_) cb(from, to);
+  return true;
+}
+
+}  // namespace orte::bsw

@@ -1,0 +1,59 @@
+// Mode management (§2: "can also be used as a means for mode management").
+//
+// A ModeMachine holds a finite set of declared modes and an explicit
+// transition relation; requests for undeclared transitions are rejected and
+// reported — consistent, non-ambiguous error handling per the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace orte::bsw {
+
+class ModeMachine {
+ public:
+  using ModeCallback =
+      std::function<void(const std::string& from, const std::string& to)>;
+
+  ModeMachine(sim::Kernel& kernel, sim::Trace& trace, std::string name,
+              std::string initial_mode);
+
+  /// Declare a mode; the initial mode is declared implicitly.
+  void add_mode(std::string mode);
+  /// Allow the transition from -> to.
+  void add_transition(std::string from, std::string to);
+
+  /// Request a mode switch; returns false (and traces "mode.rejected") when
+  /// the transition is not declared.
+  bool request(std::string_view target);
+
+  [[nodiscard]] const std::string& current() const { return current_; }
+  [[nodiscard]] bool in(std::string_view mode) const {
+    return current_ == mode;
+  }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+  void on_transition(ModeCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+ private:
+  sim::Kernel& kernel_;
+  sim::Trace& trace_;
+  std::string name_;
+  std::string current_;
+  std::set<std::string, std::less<>> modes_;
+  std::set<std::pair<std::string, std::string>> allowed_;
+  std::vector<ModeCallback> callbacks_;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace orte::bsw

@@ -1,0 +1,95 @@
+#include "bsw/nvm.hpp"
+
+#include <stdexcept>
+
+namespace orte::bsw {
+
+std::uint16_t crc16(const std::vector<std::uint8_t>& data) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+NvM::NvM(sim::Trace& trace) : trace_(trace) {}
+
+void NvM::add_block(NvBlockConfig cfg) {
+  if (cfg.length == 0) throw std::invalid_argument("NvM block length == 0");
+  const std::string name = cfg.name;
+  Block block;
+  block.copies.resize(cfg.redundant ? 2 : 1);
+  for (auto& c : block.copies) c.data.assign(cfg.length, 0);
+  block.cfg = std::move(cfg);
+  if (!blocks_.emplace(name, std::move(block)).second) {
+    throw std::invalid_argument("duplicate NvM block: " + name);
+  }
+}
+
+NvM::Block& NvM::find(std::string_view name) {
+  auto it = blocks_.find(name);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("unknown NvM block");
+  }
+  return it->second;
+}
+
+void NvM::write(std::string_view block, std::vector<std::uint8_t> data) {
+  Block& b = find(block);
+  if (data.size() != b.cfg.length) {
+    throw std::invalid_argument("NvM write size mismatch");
+  }
+  for (auto& copy : b.copies) {
+    copy.data = data;
+    copy.crc = crc16(data);
+    copy.written = true;
+  }
+  trace_.emit(0, "nvm.write", b.cfg.name);
+}
+
+std::optional<std::vector<std::uint8_t>> NvM::read(std::string_view block) {
+  Block& b = find(block);
+  int valid = -1;
+  for (std::size_t i = 0; i < b.copies.size(); ++i) {
+    const Copy& c = b.copies[i];
+    if (c.written && crc16(c.data) == c.crc) {
+      valid = static_cast<int>(i);
+      break;
+    }
+  }
+  if (valid == -1) {
+    ++fatal_;
+    trace_.emit(0, "nvm.read_failed", b.cfg.name);
+    if (failure_cb_) failure_cb_(b.cfg.name, /*fatal=*/true);
+    return std::nullopt;
+  }
+  // Repair any stale/corrupt copy from the valid one.
+  bool repaired = false;
+  for (auto& c : b.copies) {
+    if (!c.written || crc16(c.data) != c.crc) {
+      c = b.copies[static_cast<std::size_t>(valid)];
+      repaired = true;
+    }
+  }
+  if (repaired) {
+    ++recoveries_;
+    trace_.emit(0, "nvm.recovered", b.cfg.name);
+    if (failure_cb_) failure_cb_(b.cfg.name, /*fatal=*/false);
+  }
+  return b.copies[static_cast<std::size_t>(valid)].data;
+}
+
+void NvM::corrupt(std::string_view block, std::size_t byte, std::size_t copy) {
+  Block& b = find(block);
+  if (copy >= b.copies.size() || byte >= b.cfg.length) {
+    throw std::invalid_argument("NvM::corrupt out of range");
+  }
+  b.copies[copy].data[byte] ^= 0xA5;
+  trace_.emit(0, "nvm.corrupted", b.cfg.name);
+}
+
+}  // namespace orte::bsw

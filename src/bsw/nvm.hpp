@@ -1,0 +1,74 @@
+// NvM memory services (§2 / Figure 1: "Memory Services", error-handling use
+// case "memory failures").
+//
+// Blocks are CRC16-protected; redundant blocks keep two copies and fall back
+// to the surviving copy on CRC mismatch, reporting the failure to DEM when
+// wired up. Corruption injection exercises the recovery path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace orte::bsw {
+
+/// CRC-16/CCITT-FALSE over the buffer.
+std::uint16_t crc16(const std::vector<std::uint8_t>& data);
+
+struct NvBlockConfig {
+  std::string name;
+  std::size_t length = 0;
+  bool redundant = false;  ///< Keep a mirrored second copy.
+};
+
+class NvM {
+ public:
+  /// Invoked with the block name on unrecoverable (or recovered) failures.
+  using FailureCallback = std::function<void(const std::string&, bool fatal)>;
+
+  explicit NvM(sim::Trace& trace);
+
+  void add_block(NvBlockConfig cfg);
+
+  /// Write data (must match the configured length) to all copies.
+  void write(std::string_view block, std::vector<std::uint8_t> data);
+
+  /// Read with CRC check; redundant blocks repair from the mirror. Returns
+  /// nullopt (and reports fatal) when no valid copy exists.
+  std::optional<std::vector<std::uint8_t>> read(std::string_view block);
+
+  /// Fault injection: flip a bit in copy `copy` (0 or 1) of the block.
+  void corrupt(std::string_view block, std::size_t byte, std::size_t copy = 0);
+
+  void on_failure(FailureCallback cb) { failure_cb_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] std::uint64_t fatal_failures() const { return fatal_; }
+
+ private:
+  struct Copy {
+    std::vector<std::uint8_t> data;
+    std::uint16_t crc = 0;
+    bool written = false;
+  };
+  struct Block {
+    NvBlockConfig cfg;
+    std::vector<Copy> copies;
+  };
+
+  Block& find(std::string_view name);
+
+  sim::Trace& trace_;
+  std::map<std::string, Block, std::less<>> blocks_;
+  FailureCallback failure_cb_;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t fatal_ = 0;
+};
+
+}  // namespace orte::bsw

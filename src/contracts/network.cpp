@@ -1,0 +1,205 @@
+#include "contracts/network.hpp"
+
+#include <stdexcept>
+
+namespace orte::contracts {
+
+void ContractNetwork::add_component(Contract contract) {
+  const std::string name = contract.name;
+  if (!components_.emplace(name, std::move(contract)).second) {
+    throw std::invalid_argument("duplicate component contract: " + name);
+  }
+}
+
+void ContractNetwork::connect(std::string from_component,
+                              std::string from_flow, std::string to_component,
+                              std::string to_flow) {
+  (void)component(from_component);  // validation: throws on unknown
+  (void)component(to_component);
+  connections_.push_back(Connection{std::move(from_component),
+                                    std::move(from_flow),
+                                    std::move(to_component),
+                                    std::move(to_flow)});
+}
+
+const Contract& ContractNetwork::component(std::string_view name) const {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    throw std::invalid_argument("unknown component contract: " +
+                                std::string(name));
+  }
+  return it->second;
+}
+
+CheckResult ContractNetwork::check_compatibility() const {
+  CheckResult result;
+  for (const auto& conn : connections_) {
+    const Contract& src = component(conn.from_component);
+    const Contract& dst = component(conn.to_component);
+    const FlowSpec* g = src.guarantee(conn.from_flow);
+    const FlowSpec* a = dst.assumption(conn.to_flow);
+    if (g == nullptr) {
+      result.violation("connection " + conn.from_component + "." +
+                       conn.from_flow + " -> " + conn.to_component + "." +
+                       conn.to_flow + ": source guarantees nothing");
+      continue;
+    }
+    if (a == nullptr) continue;  // sink assumes nothing: trivially ok
+    CheckResult one = satisfies(*g, *a);
+    if (!one.ok) {
+      // Prefix violations with the connection for diagnosis.
+      for (auto& v : one.violations) {
+        v = conn.from_component + " -> " + conn.to_component + ": " + v;
+      }
+    }
+    result.merge(one);
+  }
+  return result;
+}
+
+Duration ContractNetwork::end_to_end_latency(
+    const std::vector<std::string>& chain) const {
+  Duration total = 0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    // Find the connection chain[i] -> chain[i+1] and use the source-side
+    // guaranteed latency on that flow.
+    const Connection* found = nullptr;
+    for (const auto& conn : connections_) {
+      if (conn.from_component == chain[i] &&
+          conn.to_component == chain[i + 1]) {
+        found = &conn;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      throw std::invalid_argument("chain is not connected: " + chain[i] +
+                                  " -> " + chain[i + 1]);
+    }
+    const FlowSpec* g = component(chain[i]).guarantee(found->from_flow);
+    if (g == nullptr || g->timing.latency == 0) return -1;
+    total += g->timing.latency;
+  }
+  return total;
+}
+
+CheckResult ContractNetwork::check_vertical(
+    const std::map<std::string, std::string>& mapping,
+    const std::vector<NodeCapacity>& nodes) const {
+  CheckResult result;
+  std::map<std::string, double> cpu;
+  std::map<std::string, std::size_t> mem;
+  double bus = 0.0;
+  for (const auto& [name, contract] : components_) {
+    auto mit = mapping.find(name);
+    if (mit == mapping.end()) {
+      result.violation("component " + name + " is unmapped");
+      continue;
+    }
+    cpu[mit->second] += contract.vertical.cpu_utilization;
+    mem[mit->second] += contract.vertical.memory_bytes;
+    bus += contract.vertical.bus_bandwidth_bps;
+    result.confidence =
+        std::min(result.confidence, contract.vertical.confidence);
+  }
+  double bus_capacity = 0.0;
+  for (const auto& node : nodes) {
+    if (cpu[node.name] > node.cpu) {
+      result.violation("node " + node.name + ": cpu demand " +
+                       std::to_string(cpu[node.name]) + " exceeds capacity " +
+                       std::to_string(node.cpu));
+    }
+    if (mem[node.name] > node.memory_bytes) {
+      result.violation("node " + node.name + ": memory demand exceeds " +
+                       std::to_string(node.memory_bytes) + " bytes");
+    }
+    bus_capacity = std::max(bus_capacity, node.bus_bandwidth_bps);
+  }
+  if (bus_capacity > 0.0 && bus > bus_capacity) {
+    result.violation("shared bus: bandwidth demand " + std::to_string(bus) +
+                     " bps exceeds budget " + std::to_string(bus_capacity));
+  }
+  // Components mapped to undeclared nodes.
+  for (const auto& [comp, node] : mapping) {
+    bool known = false;
+    for (const auto& n : nodes) {
+      if (n.name == node) known = true;
+    }
+    if (!known) {
+      result.violation("component " + comp + " mapped to unknown node " +
+                       node);
+    }
+  }
+  return result;
+}
+
+Contract ContractNetwork::compose(std::string name) const {
+  Contract composite;
+  composite.name = std::move(name);
+  composite.vertical.confidence = 1.0;
+
+  const auto fed_internally = [this](const std::string& comp,
+                                     const std::string& flow) {
+    for (const auto& c : connections_) {
+      if (c.to_component == comp && c.to_flow == flow) return true;
+    }
+    return false;
+  };
+  const auto consumed_internally = [this](const std::string& comp,
+                                          const std::string& flow) {
+    for (const auto& c : connections_) {
+      if (c.from_component == comp && c.from_flow == flow) return true;
+    }
+    return false;
+  };
+  // Upstream latency feeding component `comp` (walk the chain backwards,
+  // summing the guaranteed latencies of internal links). Returns -1 when
+  // some internal link guarantees no latency bound.
+  const auto upstream_latency = [this](const std::string& comp) -> Duration {
+    Duration total = 0;
+    std::string cursor = comp;
+    for (std::size_t hops = 0; hops <= components_.size(); ++hops) {
+      const Connection* in = nullptr;
+      for (const auto& c : connections_) {
+        if (c.to_component == cursor) {
+          in = &c;
+          break;
+        }
+      }
+      if (in == nullptr) return total;
+      const FlowSpec* g = component(in->from_component).guarantee(in->from_flow);
+      if (g == nullptr || g->timing.latency == 0) return -1;
+      total += g->timing.latency;
+      cursor = in->from_component;
+    }
+    return -1;  // cycle
+  };
+
+  for (const auto& [comp_name, contract] : components_) {
+    composite.vertical.cpu_utilization += contract.vertical.cpu_utilization;
+    composite.vertical.memory_bytes += contract.vertical.memory_bytes;
+    composite.vertical.bus_bandwidth_bps +=
+        contract.vertical.bus_bandwidth_bps;
+    composite.vertical.confidence =
+        std::min(composite.vertical.confidence, contract.vertical.confidence);
+
+    for (const auto& a : contract.assumptions) {
+      if (fed_internally(comp_name, a.flow)) continue;  // discharged inside
+      FlowSpec external = a;
+      external.flow = comp_name + "." + a.flow;
+      composite.assumptions.push_back(std::move(external));
+    }
+    for (const auto& g : contract.guarantees) {
+      if (consumed_internally(comp_name, g.flow)) continue;
+      FlowSpec external = g;
+      external.flow = comp_name + "." + g.flow;
+      if (external.timing.latency > 0) {
+        const Duration up = upstream_latency(comp_name);
+        external.timing.latency = up < 0 ? 0 : external.timing.latency + up;
+      }
+      composite.guarantees.push_back(std::move(external));
+    }
+  }
+  return composite;
+}
+
+}  // namespace orte::contracts

@@ -1,0 +1,85 @@
+// Networks of rich components: system-level contract analysis (§3).
+//
+// Components are contract-carrying design units; connections wire an output
+// flow of one component to an input flow of another. The network supports
+//  * horizontal compatibility: every connection's source guarantee implies
+//    the sink assumption,
+//  * end-to-end latency composition along a component chain, checked against
+//    a requirement ("realizability of end-to-end latencies at system level"),
+//  * vertical compatibility: per-node sums of resource assumptions against
+//    declared node capacities, with aggregated confidence — driving the
+//    design-space exploration of mappings (experiment E10).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "contracts/contract.hpp"
+
+namespace orte::contracts {
+
+struct Connection {
+  std::string from_component;
+  std::string from_flow;
+  std::string to_component;
+  std::string to_flow;
+};
+
+/// Execution-platform node capacities for vertical checks.
+struct NodeCapacity {
+  std::string name;
+  double cpu = 1.0;  ///< Available utilization (1.0 = one core).
+  std::size_t memory_bytes = SIZE_MAX;
+  double bus_bandwidth_bps = 0.0;  ///< Shared bus budget (0 = unchecked).
+};
+
+class ContractNetwork {
+ public:
+  void add_component(Contract contract);
+  void connect(std::string from_component, std::string from_flow,
+               std::string to_component, std::string to_flow);
+
+  [[nodiscard]] const Contract& component(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return components_.size(); }
+  [[nodiscard]] const std::vector<Connection>& connections() const {
+    return connections_;
+  }
+
+  /// Horizontal compatibility of every connection.
+  [[nodiscard]] CheckResult check_compatibility() const;
+
+  /// Sum of guaranteed latencies along components [c0, c1, ...]; uses each
+  /// component's guarantee on its outgoing flow in the chain. Returns the
+  /// composed bound, or -1 when some component guarantees no latency.
+  [[nodiscard]] Duration end_to_end_latency(
+      const std::vector<std::string>& chain) const;
+
+  /// Vertical check: `mapping` assigns each component to a node; resource
+  /// assumptions per node must fit the capacity. Bus bandwidth sums over all
+  /// components against the (single, shared) bus budget when any capacity
+  /// declares one.
+  [[nodiscard]] CheckResult check_vertical(
+      const std::map<std::string, std::string>& mapping,
+      const std::vector<NodeCapacity>& nodes) const;
+
+  /// Contract composition (§3 compositionality: "deducing global properties
+  /// of the composed object from the properties of its components"): derive
+  /// the system-level contract of this network.
+  ///  * assumptions = the assumptions of input flows no internal connection
+  ///    feeds (the composite's external inputs),
+  ///  * guarantees  = the guarantees of output flows not consumed internally
+  ///    (the composite's external outputs); when the producing component sits
+  ///    at the end of an internal chain, the guaranteed latency is widened to
+  ///    the composed chain latency,
+  ///  * vertical    = sum of all resource assumptions, minimum confidence.
+  /// Flow names are qualified "component.flow" to stay unambiguous.
+  [[nodiscard]] Contract compose(std::string name) const;
+
+ private:
+  std::map<std::string, Contract, std::less<>> components_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace orte::contracts

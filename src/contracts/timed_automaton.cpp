@@ -1,0 +1,152 @@
+#include "contracts/timed_automaton.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace orte::contracts {
+
+int TimedAutomaton::add_location(std::string name, bool error) {
+  location_names_.push_back(std::move(name));
+  error_.push_back(error);
+  return static_cast<int>(location_names_.size()) - 1;
+}
+
+int TimedAutomaton::add_clock(std::string name) {
+  clock_names_.push_back(std::move(name));
+  return static_cast<int>(clock_names_.size()) - 1;
+}
+
+void TimedAutomaton::add_edge(int from, int to, std::string label,
+                              std::vector<Constraint> guards,
+                              std::vector<int> resets) {
+  if (from < 0 || from >= static_cast<int>(location_names_.size()) ||
+      to < 0 || to >= static_cast<int>(location_names_.size())) {
+    throw std::invalid_argument("edge references unknown location");
+  }
+  edges_.push_back(
+      Edge{from, to, std::move(label), std::move(guards), std::move(resets)});
+}
+
+int TimedAutomaton::location_id(std::string_view name) const {
+  for (std::size_t i = 0; i < location_names_.size(); ++i) {
+    if (location_names_[i] == name) return static_cast<int>(i);
+  }
+  throw std::invalid_argument("unknown location: " + std::string(name));
+}
+
+const std::string& TimedAutomaton::location_name(int id) const {
+  return location_names_.at(static_cast<std::size_t>(id));
+}
+
+bool TimedAutomaton::satisfied(const Constraint& c,
+                               const std::vector<std::int64_t>& clocks) const {
+  const std::int64_t v = clocks.at(static_cast<std::size_t>(c.clock));
+  switch (c.op) {
+    case Constraint::Op::kLe: return v <= c.bound;
+    case Constraint::Op::kLt: return v < c.bound;
+    case Constraint::Op::kGe: return v >= c.bound;
+    case Constraint::Op::kGt: return v > c.bound;
+    case Constraint::Op::kEq: return v == c.bound;
+  }
+  return false;
+}
+
+std::int64_t TimedAutomaton::max_constant() const {
+  std::int64_t k = 0;
+  for (const auto& e : edges_) {
+    for (const auto& g : e.guards) k = std::max(k, g.bound);
+  }
+  return k;
+}
+
+bool TimedAutomaton::reachable(int target) const {
+  if (location_names_.empty()) return false;
+  const std::int64_t clamp = max_constant() + 1;
+  using State = std::pair<int, std::vector<std::int64_t>>;
+  std::set<State> seen;
+  std::deque<State> frontier;
+  frontier.push_back({0, std::vector<std::int64_t>(clock_names_.size(), 0)});
+  seen.insert(frontier.front());
+  while (!frontier.empty()) {
+    auto [loc, clocks] = frontier.front();
+    frontier.pop_front();
+    if (loc == target) return true;
+    // Delay step: advance every clock by one unit (clamped).
+    {
+      std::vector<std::int64_t> next = clocks;
+      for (auto& c : next) c = std::min(c + 1, clamp);
+      State s{loc, std::move(next)};
+      if (seen.insert(s).second) frontier.push_back(std::move(s));
+    }
+    // Discrete steps.
+    for (const auto& e : edges_) {
+      if (e.from != loc) continue;
+      bool ok = true;
+      for (const auto& g : e.guards) {
+        if (!satisfied(g, clocks)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<std::int64_t> next = clocks;
+      for (int r : e.resets) next.at(static_cast<std::size_t>(r)) = 0;
+      State s{e.to, std::move(next)};
+      if (seen.insert(s).second) frontier.push_back(std::move(s));
+    }
+  }
+  return false;
+}
+
+bool TimedAutomaton::error_reachable() const {
+  for (std::size_t i = 0; i < error_.size(); ++i) {
+    if (error_[i] && reachable(static_cast<int>(i))) return true;
+  }
+  return false;
+}
+
+TimedAutomaton::RunResult TimedAutomaton::run(
+    const std::vector<std::pair<std::int64_t, std::string>>& word) const {
+  RunResult result;
+  int loc = 0;
+  std::vector<std::int64_t> clocks(clock_names_.size(), 0);
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const auto& [delay, label] = word[i];
+    for (auto& c : clocks) c += delay;
+    const Edge* taken = nullptr;
+    for (const auto& e : edges_) {
+      if (e.from != loc || e.label != label) continue;
+      bool ok = true;
+      for (const auto& g : e.guards) {
+        if (!satisfied(g, clocks)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        taken = &e;
+        break;
+      }
+    }
+    if (taken == nullptr) {
+      result.accepted = false;
+      result.failed_at = i;
+      result.final_location = loc;
+      return result;
+    }
+    for (int r : taken->resets) clocks.at(static_cast<std::size_t>(r)) = 0;
+    loc = taken->to;
+    if (error_.at(static_cast<std::size_t>(loc))) {
+      result.accepted = false;
+      result.failed_at = i;
+      result.final_location = loc;
+      return result;
+    }
+  }
+  result.final_location = loc;
+  return result;
+}
+
+}  // namespace orte::contracts

@@ -1,0 +1,76 @@
+// Timed automata for behavioural contracts (§3: "contracts expressed in
+// extended automata model, subsuming timed automata").
+//
+// Two analyses, both exact for integer-valued clocks:
+//  * reachable(loc): breadth-first exploration with clock values clamped one
+//    past the largest constant (standard integer-semantics abstraction) —
+//    used for contract consistency ("is the error location reachable?"),
+//  * run(word): deterministic monitoring of a timed word — used to check
+//    recorded simulation traces against a behavioural contract
+//    (conformance: did every response happen within its deadline?).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orte::contracts {
+
+class TimedAutomaton {
+ public:
+  struct Constraint {
+    enum class Op { kLe, kLt, kGe, kGt, kEq };
+    int clock = 0;
+    Op op = Op::kLe;
+    std::int64_t bound = 0;
+  };
+
+  /// First added location is initial. Returns the location id.
+  int add_location(std::string name, bool error = false);
+  int add_clock(std::string name);
+  void add_edge(int from, int to, std::string label,
+                std::vector<Constraint> guards = {},
+                std::vector<int> resets = {});
+
+  [[nodiscard]] int location_id(std::string_view name) const;
+  [[nodiscard]] const std::string& location_name(int id) const;
+  [[nodiscard]] std::size_t locations() const { return location_names_.size(); }
+
+  /// Exhaustive reachability (delay steps of 1 time unit + discrete edges),
+  /// clocks clamped at max-constant+1. Exact for integer timed automata.
+  [[nodiscard]] bool reachable(int location) const;
+  /// Convenience: is any error location reachable?
+  [[nodiscard]] bool error_reachable() const;
+
+  /// Monitor a timed word: pairs of (delay before event, label). At each
+  /// event the first enabled edge with that label fires; an event with no
+  /// enabled edge moves the monitor to the implicit error verdict.
+  struct RunResult {
+    bool accepted = true;  ///< No stuck event, no error location entered.
+    int final_location = 0;
+    std::size_t failed_at = 0;  ///< Index of the offending event, if any.
+  };
+  [[nodiscard]] RunResult run(
+      const std::vector<std::pair<std::int64_t, std::string>>& word) const;
+
+ private:
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    std::string label;
+    std::vector<Constraint> guards;
+    std::vector<int> resets;
+  };
+
+  [[nodiscard]] bool satisfied(const Constraint& c,
+                               const std::vector<std::int64_t>& clocks) const;
+  [[nodiscard]] std::int64_t max_constant() const;
+
+  std::vector<std::string> location_names_;
+  std::vector<bool> error_;
+  std::vector<std::string> clock_names_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace orte::contracts

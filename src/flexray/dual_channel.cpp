@@ -1,0 +1,66 @@
+#include "flexray/dual_channel.hpp"
+
+#include <stdexcept>
+
+namespace orte::flexray {
+
+DualChannelFlexRay::DualChannelFlexRay(sim::Kernel& kernel, sim::Trace& trace,
+                                       FlexRayConfig cfg) {
+  FlexRayConfig cfg_a = cfg;
+  cfg_a.name += ".A";
+  FlexRayConfig cfg_b = cfg;
+  cfg_b.name += ".B";
+  a_ = std::make_unique<FlexRayBus>(kernel, trace, cfg_a);
+  b_ = std::make_unique<FlexRayBus>(kernel, trace, cfg_b);
+}
+
+DualChannelController& DualChannelFlexRay::attach() {
+  const int node = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::unique_ptr<DualChannelController>(
+      new DualChannelController(*this, node)));
+  auto& leg_a = a_->attach();
+  auto& leg_b = b_->attach();
+  legs_.emplace_back(&leg_a, &leg_b);
+  DualChannelController* wrapper = nodes_.back().get();
+  leg_a.on_receive([wrapper](const Frame& f) { wrapper->handle(f, 0); });
+  leg_b.on_receive([wrapper](const Frame& f) { wrapper->handle(f, 1); });
+  return *wrapper;
+}
+
+void DualChannelFlexRay::assign_static_slot(std::uint32_t slot,
+                                            const DualChannelController& c) {
+  const auto& leg = legs_.at(static_cast<std::size_t>(c.node_));
+  a_->assign_static_slot(slot, *leg.first);
+  b_->assign_static_slot(slot, *leg.second);
+}
+
+void DualChannelFlexRay::start() {
+  a_->start();
+  b_->start();
+}
+
+void DualChannelFlexRay::fail_channel(int channel, sim::Time from,
+                                      sim::Time until) {
+  channel ? b_->fail_channel(from, until) : a_->fail_channel(from, until);
+}
+
+void DualChannelController::send(Frame frame) {
+  const auto& leg = bus_->legs_.at(static_cast<std::size_t>(node_));
+  Frame copy = frame;
+  leg.first->send(std::move(copy));
+  leg.second->send(std::move(frame));
+}
+
+void DualChannelController::handle(const Frame& f, int channel) {
+  (void)channel;
+  auto it = delivered_.find(f.id);
+  if (it != delivered_.end() && it->second == f.sent_at) {
+    ++bus_->redundant_;  // second copy of the same transmission
+    return;
+  }
+  delivered_[f.id] = f.sent_at;
+  ++bus_->logical_;
+  notify_receive(f);
+}
+
+}  // namespace orte::flexray

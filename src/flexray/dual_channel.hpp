@@ -1,0 +1,70 @@
+// Dual-channel FlexRay operation.
+//
+// FlexRay specifies two physical channels (A and B); safety-critical frames
+// are transmitted on both so that a single channel fault (wire break, stuck
+// transceiver) loses no data. This wrapper drives two identically-configured
+// FlexRayBus instances in lockstep and deduplicates receptions: the first
+// copy of a (slot, transmission instant) pair is delivered, the second is
+// counted as redundant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "flexray/flexray_bus.hpp"
+
+namespace orte::flexray {
+
+class DualChannelFlexRay;
+
+/// Node-side view: sends go to both channels; receive callbacks fire once
+/// per logical frame (deduplicated).
+class DualChannelController : public net::Controller {
+ public:
+  void send(Frame frame) override;
+
+ private:
+  friend class DualChannelFlexRay;
+  DualChannelController(DualChannelFlexRay& bus, int node)
+      : bus_(&bus), node_(node) {}
+  void handle(const Frame& f, int channel);
+
+  DualChannelFlexRay* bus_;
+  int node_;
+  /// frame id -> sent_at of the last delivered logical frame.
+  std::map<std::uint32_t, sim::Time> delivered_;
+};
+
+class DualChannelFlexRay {
+ public:
+  DualChannelFlexRay(sim::Kernel& kernel, sim::Trace& trace,
+                     FlexRayConfig cfg);
+
+  DualChannelController& attach();
+  void assign_static_slot(std::uint32_t slot, const DualChannelController& c);
+  void start();
+
+  /// Blackout-fail one channel (0 = A, 1 = B) during [from, until).
+  void fail_channel(int channel, sim::Time from, sim::Time until);
+
+  [[nodiscard]] FlexRayBus& channel(int i) { return i == 0 ? *a_ : *b_; }
+  [[nodiscard]] std::uint64_t redundant_receptions() const {
+    return redundant_;
+  }
+  [[nodiscard]] std::uint64_t logical_receptions() const { return logical_; }
+
+ private:
+  friend class DualChannelController;
+
+  std::unique_ptr<FlexRayBus> a_;
+  std::unique_ptr<FlexRayBus> b_;
+  std::vector<std::unique_ptr<DualChannelController>> nodes_;
+  std::vector<std::pair<FlexRayController*, FlexRayController*>> legs_;
+  std::uint64_t redundant_ = 0;
+  std::uint64_t logical_ = 0;
+};
+
+}  // namespace orte::flexray

@@ -1,0 +1,42 @@
+#include "isolation/fault_injection.hpp"
+
+#include <stdexcept>
+
+namespace orte::isolation {
+
+std::function<sim::Duration()> overrunning_wcet(const sim::Kernel& kernel,
+                                                sim::Duration base,
+                                                double factor, sim::Time from,
+                                                sim::Time until) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("overrun factor must be >= 1");
+  }
+  return [&kernel, base, factor, from, until] {
+    const sim::Time now = kernel.now();
+    if (now >= from && now < until) {
+      return static_cast<sim::Duration>(static_cast<double>(base) * factor);
+    }
+    return base;
+  };
+}
+
+std::function<sim::Duration()> jittery_wcet(sim::Rng& rng, sim::Duration base,
+                                            double jitter_fraction) {
+  if (jitter_fraction < 0.0 || jitter_fraction > 1.0) {
+    throw std::invalid_argument("jitter fraction must be in [0,1]");
+  }
+  return [&rng, base, jitter_fraction] {
+    const double scale = 1.0 - jitter_fraction * rng.next_double();
+    return static_cast<sim::Duration>(static_cast<double>(base) * scale);
+  };
+}
+
+std::function<sim::Duration()> crashing_wcet(const sim::Kernel& kernel,
+                                             sim::Duration base,
+                                             sim::Time from) {
+  return [&kernel, base, from] {
+    return kernel.now() >= from ? sim::Duration{0} : base;
+  };
+}
+
+}  // namespace orte::isolation

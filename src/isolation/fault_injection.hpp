@@ -1,0 +1,35 @@
+// Execution-time fault injectors for the timing-isolation experiments.
+//
+// The paper's §1 scenario: "protecting the tasks of each IP from the
+// functional and timing errors of other IPs". These helpers build the
+// *timing errors*: WCET overruns confined to a window, stochastic execution
+// jitter, and permanent crashes (zero work).
+#pragma once
+
+#include <functional>
+
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace orte::isolation {
+
+/// Execution time that overruns by `factor` during [from, until), nominal
+/// `base` otherwise. factor 3.0 = task runs 3x its contract.
+std::function<sim::Duration()> overrunning_wcet(const sim::Kernel& kernel,
+                                                sim::Duration base,
+                                                double factor, sim::Time from,
+                                                sim::Time until);
+
+/// Execution time uniformly distributed in [base*(1-jitter), base].
+/// (WCET is the upper bound: real executions undershoot it.)
+std::function<sim::Duration()> jittery_wcet(sim::Rng& rng, sim::Duration base,
+                                            double jitter_fraction);
+
+/// Fail-silent from `from` on: executes nominally before, then zero work
+/// (models a crashed supplier whose task still gets dispatched).
+std::function<sim::Duration()> crashing_wcet(const sim::Kernel& kernel,
+                                             sim::Duration base,
+                                             sim::Time from);
+
+}  // namespace orte::isolation

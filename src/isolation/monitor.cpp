@@ -1,0 +1,48 @@
+#include "isolation/monitor.hpp"
+
+namespace orte::isolation {
+
+ContainmentMonitor::ContainmentMonitor(sim::Trace& trace) {
+  trace.subscribe([this](const sim::TraceRecord& rec) {
+    if (rec.category == "task.deadline_miss") {
+      ++misses_[rec.subject];
+    } else if (rec.category == "task.kill") {
+      ++kills_[rec.subject];
+    } else if (rec.category == "task.activation_lost") {
+      ++lost_[rec.subject];
+    }
+  });
+}
+
+std::uint64_t ContainmentMonitor::deadline_misses(std::string_view task) const {
+  auto it = misses_.find(std::string(task));
+  return it == misses_.end() ? 0 : it->second;
+}
+
+std::uint64_t ContainmentMonitor::kills(std::string_view task) const {
+  auto it = kills_.find(std::string(task));
+  return it == kills_.end() ? 0 : it->second;
+}
+
+std::uint64_t ContainmentMonitor::activations_lost(
+    std::string_view task) const {
+  auto it = lost_.find(std::string(task));
+  return it == lost_.end() ? 0 : it->second;
+}
+
+std::uint64_t ContainmentMonitor::total_deadline_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& [task, count] : misses_) n += count;
+  return n;
+}
+
+std::uint64_t ContainmentMonitor::victim_misses(
+    std::string_view aggressor) const {
+  std::uint64_t n = 0;
+  for (const auto& [task, count] : misses_) {
+    if (task.find(aggressor) == std::string::npos) n += count;
+  }
+  return n;
+}
+
+}  // namespace orte::isolation

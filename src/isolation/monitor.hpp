@@ -1,0 +1,33 @@
+// Containment monitor: classifies trace events per subject so experiments can
+// separate aggressor damage from victim damage (error containment = victims
+// unaffected while the aggressor is sanctioned).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hpp"
+
+namespace orte::isolation {
+
+class ContainmentMonitor {
+ public:
+  /// Subscribes to the trace; only events from subscription time on count.
+  explicit ContainmentMonitor(sim::Trace& trace);
+
+  [[nodiscard]] std::uint64_t deadline_misses(std::string_view task) const;
+  [[nodiscard]] std::uint64_t kills(std::string_view task) const;
+  [[nodiscard]] std::uint64_t activations_lost(std::string_view task) const;
+  [[nodiscard]] std::uint64_t total_deadline_misses() const;
+  /// Deadline misses of every task except `aggressor` (victim damage).
+  [[nodiscard]] std::uint64_t victim_misses(std::string_view aggressor) const;
+
+ private:
+  std::map<std::string, std::uint64_t> misses_;
+  std::map<std::string, std::uint64_t> kills_;
+  std::map<std::string, std::uint64_t> lost_;
+};
+
+}  // namespace orte::isolation

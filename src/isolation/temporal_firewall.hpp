@@ -1,0 +1,59 @@
+// Temporal firewall (Kopetz): a unidirectional, time-aware shared variable
+// between a producer and consumers with no control-flow coupling.
+//
+// The producer publishes state messages with an explicit validity interval;
+// consumers read non-blocking and learn both the value and whether it is
+// temporally accurate *right now*. This is the §4 interface discipline for
+// IP cores: "the interfaces between the IP-Core and the NoC must be precisely
+// specified in the temporal and logical domain".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace orte::isolation {
+
+template <typename T>
+class TemporalFirewall {
+ public:
+  struct Entry {
+    T value{};
+    sim::Time observation_time = 0;  ///< When the value was sampled.
+    sim::Time valid_until = 0;       ///< Temporal accuracy horizon.
+  };
+
+  /// Producer side: overwrite-in-place (never blocks, never queues).
+  void publish(T value, sim::Time observation_time, sim::Time valid_until) {
+    entry_ = Entry{std::move(value), observation_time, valid_until};
+    ++updates_;
+  }
+
+  /// Consumer side: the current entry if it is still temporally valid at
+  /// `now`, otherwise nullopt (the consumer must degrade gracefully).
+  [[nodiscard]] std::optional<Entry> read(sim::Time now) const {
+    ++reads_;
+    if (!entry_.has_value() || now > entry_->valid_until) {
+      ++stale_reads_;
+      return std::nullopt;
+    }
+    return entry_;
+  }
+
+  /// Latest entry regardless of validity (diagnosis).
+  [[nodiscard]] const std::optional<Entry>& raw() const { return entry_; }
+
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+  [[nodiscard]] std::uint64_t stale_reads() const { return stale_reads_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+
+ private:
+  std::optional<Entry> entry_;
+  std::uint64_t updates_ = 0;
+  mutable std::uint64_t reads_ = 0;
+  mutable std::uint64_t stale_reads_ = 0;
+};
+
+}  // namespace orte::isolation

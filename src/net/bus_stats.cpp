@@ -1,0 +1,14 @@
+#include "net/bus_stats.hpp"
+
+namespace orte::net {
+
+void BusStats::record_tx(sim::Time start, sim::Time end, bool delivered) {
+  busy_time_ += end - start;
+  if (delivered) {
+    ++frames_delivered_;
+  } else {
+    ++frames_corrupted_;
+  }
+}
+
+}  // namespace orte::net

@@ -1,0 +1,49 @@
+// Per-bus accounting shared by all protocol simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace orte::net {
+
+class BusStats {
+ public:
+  /// Record one completed (or corrupted) transmission occupying the medium
+  /// over [start, end).
+  void record_tx(sim::Time start, sim::Time end, bool delivered);
+  void record_queueing_delay(sim::Duration d) {
+    queueing_delay_.add(sim::to_us(d));
+  }
+  void record_drop() { ++frames_dropped_; }
+
+  [[nodiscard]] std::uint64_t frames_delivered() const {
+    return frames_delivered_;
+  }
+  [[nodiscard]] std::uint64_t frames_corrupted() const {
+    return frames_corrupted_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_;
+  }
+  [[nodiscard]] sim::Duration busy_time() const { return busy_time_; }
+  /// Bus utilization over [0, now].
+  [[nodiscard]] double utilization(sim::Time now) const {
+    return now > 0 ? static_cast<double>(busy_time_) / static_cast<double>(now)
+                   : 0.0;
+  }
+  /// Queueing delays in microseconds.
+  [[nodiscard]] const sim::Stats& queueing_delay() const {
+    return queueing_delay_;
+  }
+
+ private:
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  sim::Duration busy_time_ = 0;
+  sim::Stats queueing_delay_;
+};
+
+}  // namespace orte::net

@@ -1,0 +1,55 @@
+// Common frame and controller abstractions shared by the CAN, FlexRay, TTP
+// and NoC substrates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace orte::net {
+
+using sim::Duration;
+using sim::Time;
+
+/// A network frame at the data-link level. `id` is protocol-specific: CAN
+/// identifier (lower = higher priority), FlexRay frame/slot id, TTP slot id,
+/// NoC flow id.
+struct Frame {
+  std::uint32_t id = 0;
+  std::string name;  ///< For tracing; not on the wire.
+  std::vector<std::uint8_t> payload;
+  int source = -1;        ///< Sending node index.
+  Time enqueued_at = 0;   ///< When the sender handed it to its controller.
+  Time sent_at = 0;       ///< When transmission started on the medium.
+  Time delivered_at = 0;  ///< When reception completed at listeners.
+
+  [[nodiscard]] std::size_t size() const { return payload.size(); }
+};
+
+using RxCallback = std::function<void(const Frame&)>;
+
+/// Interface every protocol controller implements towards the host
+/// (ECU / IP core) software.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Queue a frame for transmission according to the protocol's arbitration.
+  virtual void send(Frame frame) = 0;
+
+  /// Register a listener invoked on every received frame.
+  void on_receive(RxCallback cb) { rx_callbacks_.push_back(std::move(cb)); }
+
+ protected:
+  void notify_receive(const Frame& frame) const {
+    for (const auto& cb : rx_callbacks_) cb(frame);
+  }
+
+ private:
+  std::vector<RxCallback> rx_callbacks_;
+};
+
+}  // namespace orte::net

@@ -1,0 +1,66 @@
+#include "noc/can_overlay.hpp"
+
+#include <stdexcept>
+
+namespace orte::noc {
+
+namespace {
+// CAN-equivalent wire overhead carried over the NoC (id + DLC + CRC).
+constexpr std::size_t kOverlayOverheadBytes = 5;
+constexpr std::uint32_t kMaxCanId = 0x7FF;
+}  // namespace
+
+CanOverlay::CanOverlay(NetworkInterface& ni) : ni_(ni) {
+  ni_.on_receive([this](const NocMessage& msg) {
+    if (msg.name == "can_overlay") handle(msg);
+  });
+}
+
+void CanOverlay::send(std::uint32_t id, std::vector<std::uint8_t> data) {
+  if (id > kMaxCanId) {
+    throw std::invalid_argument("CAN overlay id exceeds 11 bits");
+  }
+  if (data.size() > 8) {
+    throw std::invalid_argument("CAN overlay payload exceeds 8 bytes");
+  }
+  NocMessage msg;
+  msg.destination = -1;  // CAN is a broadcast medium
+  msg.name = "can_overlay";
+  msg.priority = id;  // lower id = higher injection priority, as on the bus
+  msg.bytes = data.size() + kOverlayOverheadBytes;
+  msg.payload = std::move(data);
+  ++sent_;
+  ni_.send(std::move(msg));
+}
+
+void CanOverlay::on_frame(std::uint32_t id, FrameCallback cb) {
+  by_id_[id].push_back(std::move(cb));
+}
+
+void CanOverlay::on_any(FrameCallback cb) { any_.push_back(std::move(cb)); }
+
+void CanOverlay::handle(const NocMessage& msg) {
+  OverlayFrame frame;
+  frame.id = msg.priority;
+  frame.data = msg.payload;
+  frame.sent_at = msg.enqueued_at;
+  frame.received_at = msg.delivered_at;
+  ++received_;
+  // Priority-order conformance check (adjacent-pair approximation): on a real
+  // CAN bus, a frame that was enqueued no later and has a lower id would have
+  // been received first.
+  if (have_rx_ && frame.id < last_rx_id_ && frame.sent_at <= last_rx_sent_at_) {
+    ++inversions_;
+  }
+  have_rx_ = true;
+  last_rx_id_ = frame.id;
+  last_rx_sent_at_ = frame.sent_at;
+
+  auto it = by_id_.find(frame.id);
+  if (it != by_id_.end()) {
+    for (const auto& cb : it->second) cb(frame);
+  }
+  for (const auto& cb : any_) cb(frame);
+}
+
+}  // namespace orte::noc

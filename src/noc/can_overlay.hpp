@@ -1,0 +1,69 @@
+// CAN-overlay middleware: the §4 legacy-integration service.
+//
+// "higher-level application specific services can be implemented in
+//  middleware such that the APIs visible to the application software conform
+//  with the requirements of existing legacy applications (e.g., a CAN overlay
+//  network)".
+//
+// The overlay gives each IP core a classic CAN programming model — broadcast
+// frames with 11-bit identifiers, lower id = higher priority, at most 8 data
+// bytes — implemented on NoC messages. Within one core, identifier priority is
+// preserved by mapping the CAN id onto the NI injection priority; across
+// cores, TDMA slots serialize senders, so global id-order can invert — the
+// overlay counts such inversions so experiment E11 can quantify the legacy
+// conformance the paper promises.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "noc/noc.hpp"
+
+namespace orte::noc {
+
+struct OverlayFrame {
+  std::uint32_t id = 0;  ///< CAN identifier (11-bit range enforced).
+  std::vector<std::uint8_t> data;  ///< Up to 8 bytes.
+  Time sent_at = 0;
+  Time received_at = 0;
+};
+
+class CanOverlay {
+ public:
+  using FrameCallback = std::function<void(const OverlayFrame&)>;
+
+  /// Wrap the given NI. One overlay per core.
+  explicit CanOverlay(NetworkInterface& ni);
+
+  /// Broadcast a legacy CAN frame to every other core.
+  void send(std::uint32_t id, std::vector<std::uint8_t> data);
+
+  /// Subscribe to a specific identifier.
+  void on_frame(std::uint32_t id, FrameCallback cb);
+  /// Subscribe to all identifiers.
+  void on_any(FrameCallback cb);
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t frames_received() const { return received_; }
+  /// Received frames whose id is higher-priority (lower) than a previously
+  /// received frame sent later — global priority-order inversions.
+  [[nodiscard]] std::uint64_t order_inversions() const { return inversions_; }
+
+ private:
+  void handle(const NocMessage& msg);
+
+  NetworkInterface& ni_;
+  std::map<std::uint32_t, std::vector<FrameCallback>> by_id_;
+  std::vector<FrameCallback> any_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t inversions_ = 0;
+  Time last_rx_sent_at_ = 0;
+  std::uint32_t last_rx_id_ = 0;
+  bool have_rx_ = false;
+};
+
+}  // namespace orte::noc

@@ -1,0 +1,390 @@
+#include "os/ecu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace orte::os {
+
+namespace {
+constexpr Duration kUnevaluated = -1;
+}
+
+Ecu::Ecu(sim::Kernel& kernel, sim::Trace& trace, std::string name)
+    : kernel_(kernel), trace_(trace), name_(std::move(name)) {}
+
+Task& Ecu::add_task(TaskConfig cfg) {
+  if (started_) throw std::logic_error("Ecu::add_task after start()");
+  if (cfg.partition >= static_cast<int>(partitions_.size())) {
+    throw std::invalid_argument("Ecu::add_task: unknown partition");
+  }
+  tasks_.push_back(std::make_unique<Task>(std::move(cfg)));
+  return *tasks_.back();
+}
+
+int Ecu::add_partition(PartitionConfig cfg) {
+  if (cfg.budget <= 0 || cfg.period <= 0) {
+    throw std::invalid_argument("Ecu::add_partition: budget/period must be >0");
+  }
+  partitions_.push_back(Partition{std::move(cfg), 0, false, 0});
+  return static_cast<int>(partitions_.size()) - 1;
+}
+
+int Ecu::add_resource(std::string name) {
+  resources_.push_back(Resource{std::move(name)});
+  return static_cast<int>(resources_.size()) - 1;
+}
+
+void Ecu::set_schedule_table(std::vector<TableEntry> entries, Duration cycle) {
+  if (cycle <= 0) throw std::invalid_argument("schedule table cycle <= 0");
+  for (const auto& e : entries) {
+    if (e.offset < 0 || e.offset >= cycle) {
+      throw std::invalid_argument("schedule table offset outside cycle");
+    }
+  }
+  table_ = std::move(entries);
+  table_cycle_ = cycle;
+}
+
+void Ecu::start() {
+  if (started_) throw std::logic_error("Ecu::start called twice");
+  started_ = true;
+  started_at_ = kernel_.now();
+
+  // Compute immediate-ceiling priorities from declared segment usage.
+  for (const auto& task : tasks_) {
+    for (const auto& seg : task->segments_) {
+      if (seg.resource >= 0) {
+        if (seg.resource >= static_cast<int>(resources_.size())) {
+          throw std::logic_error("segment references unknown resource");
+        }
+        auto& res = resources_[static_cast<std::size_t>(seg.resource)];
+        res.ceiling = std::max(res.ceiling, task->cfg_.priority);
+      }
+    }
+  }
+
+  // Arm implicit alarms for periodic tasks.
+  for (const auto& task : tasks_) {
+    if (task->cfg_.period > 0) {
+      Task* t = task.get();
+      kernel_.schedule_periodic(
+          started_at_ + t->cfg_.offset, t->cfg_.period,
+          [this, t] { activate_internal(*t); }, sim::EventOrder::kKernel);
+    }
+  }
+
+  // Arm the time-triggered schedule table.
+  for (const auto& entry : table_) {
+    Task* t = find_task(entry.task);
+    if (t == nullptr) {
+      throw std::logic_error("schedule table references unknown task: " +
+                             entry.task);
+    }
+    kernel_.schedule_periodic(
+        started_at_ + entry.offset, table_cycle_,
+        [this, t] { activate_internal(*t); }, sim::EventOrder::kKernel);
+  }
+
+  // Arm partition replenishment.
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i].budget_remaining = partitions_[i].cfg.budget;
+    kernel_.schedule_periodic(
+        started_at_ + partitions_[i].cfg.period, partitions_[i].cfg.period,
+        [this, i] { replenish_partition(i); }, sim::EventOrder::kKernel);
+  }
+}
+
+void Ecu::activate(Task& task) {
+  if (!started_) throw std::logic_error("Ecu::activate before start()");
+  activate_internal(task);
+}
+
+void Ecu::activate(std::string_view task_name) {
+  Task* t = find_task(task_name);
+  if (t == nullptr) {
+    throw std::invalid_argument("Ecu::activate: unknown task");
+  }
+  activate(*t);
+}
+
+Task* Ecu::find_task(std::string_view name) {
+  for (const auto& t : tasks_) {
+    if (t->cfg_.name == name) return t.get();
+  }
+  return nullptr;
+}
+
+double Ecu::utilization() const {
+  const Time elapsed = kernel_.now() - started_at_;
+  if (elapsed <= 0) return 0.0;
+  Duration busy = busy_time_;
+  if (running_ != nullptr) busy += kernel_.now() - run_start_;
+  return static_cast<double>(busy) / static_cast<double>(elapsed);
+}
+
+std::uint64_t Ecu::partition_throttles(int partition) const {
+  return partitions_.at(static_cast<std::size_t>(partition)).throttle_count;
+}
+
+// --- Internal machinery -----------------------------------------------------
+
+void Ecu::activate_internal(Task& task) {
+  // Arrival-rate timing protection (AUTOSAR inter-arrival monitoring).
+  if (task.cfg_.min_interarrival > 0 && task.last_arrival_ >= 0 &&
+      kernel_.now() - task.last_arrival_ < task.cfg_.min_interarrival) {
+    ++task.arrivals_blocked_;
+    trace_.emit(kernel_.now(), "task.arrival_blocked", task.cfg_.name);
+    return;
+  }
+  task.last_arrival_ = kernel_.now();
+  ++task.activations_;
+  if (task.state_ == Task::State::kSuspended) {
+    begin_job(task);
+    dispatch();
+    return;
+  }
+  if (task.pending_.size() < task.cfg_.max_pending_activations) {
+    task.pending_.push_back(kernel_.now());
+    trace_.emit(kernel_.now(), "task.activation_queued", task.cfg_.name);
+  } else {
+    ++task.activations_lost_;
+    trace_.emit(kernel_.now(), "task.activation_lost", task.cfg_.name);
+  }
+}
+
+void Ecu::begin_job(Task& task) {
+  assert(task.state_ == Task::State::kSuspended);
+  if (task.segments_.empty()) {
+    throw std::logic_error("task has no body: " + task.cfg_.name);
+  }
+  task.state_ = Task::State::kReady;
+  task.segment_index_ = 0;
+  task.segment_started_ = false;
+  task.segment_remaining_ = kUnevaluated;
+  task.job_budget_remaining_ = task.cfg_.budget;
+  task.activation_time_ = kernel_.now();
+  Duration rel = task.cfg_.relative_deadline;
+  if (rel <= 0) rel = task.cfg_.period;
+  task.absolute_deadline_ =
+      rel > 0 ? task.activation_time_ + rel : sim::kForever;
+  ++task.job_seq_;
+  trace_.emit(kernel_.now(), "task.activate", task.cfg_.name);
+  // Miss detection happens AT the deadline, so starved jobs that never
+  // complete are counted too. The observer fires after same-instant
+  // completions, so finishing exactly on the deadline is not a miss.
+  if (task.absolute_deadline_ != sim::kForever) {
+    Task* t = &task;
+    const std::uint64_t seq = task.job_seq_;
+    kernel_.schedule_at(
+        task.absolute_deadline_,
+        [this, t, seq] {
+          if (t->state_ != Task::State::kSuspended && t->job_seq_ == seq) {
+            ++t->deadline_misses_;
+            trace_.emit(kernel_.now(), "task.deadline_miss", t->cfg_.name);
+          }
+        },
+        sim::EventOrder::kObserver);
+  }
+}
+
+int Ecu::effective_priority(const Task& task) const {
+  int prio = task.cfg_.priority;
+  if (task.state_ != Task::State::kSuspended && task.segment_started_ &&
+      task.segment_index_ < task.segments_.size()) {
+    const int res = task.segments_[task.segment_index_].resource;
+    if (res >= 0) {
+      prio = std::max(prio, resources_[static_cast<std::size_t>(res)].ceiling);
+    }
+  }
+  return prio;
+}
+
+bool Ecu::eligible(const Task& task) const {
+  if (task.state_ == Task::State::kSuspended) return false;
+  if (task.cfg_.partition >= 0 &&
+      partitions_[static_cast<std::size_t>(task.cfg_.partition)].exhausted) {
+    return false;
+  }
+  return true;
+}
+
+Task* Ecu::pick_next() {
+  Task* best = nullptr;
+  int best_prio = 0;
+  for (const auto& up : tasks_) {
+    Task* t = up.get();
+    if (!eligible(*t)) continue;
+    const int prio = effective_priority(*t);
+    // Strictly-higher priority wins; the incumbent wins ties so equal
+    // priorities never preempt each other (OSEK semantics).
+    if (best == nullptr || prio > best_prio ||
+        (prio == best_prio && t == running_)) {
+      best = t;
+      best_prio = prio;
+    }
+  }
+  return best;
+}
+
+void Ecu::charge(Task& task, Duration elapsed) {
+  if (elapsed <= 0) return;
+  busy_time_ += elapsed;
+  assert(task.segment_remaining_ >= elapsed);
+  task.segment_remaining_ -= elapsed;
+  if (task.cfg_.budget > 0) {
+    task.job_budget_remaining_ =
+        std::max<Duration>(0, task.job_budget_remaining_ - elapsed);
+  }
+  if (task.cfg_.partition >= 0) {
+    auto& p = partitions_[static_cast<std::size_t>(task.cfg_.partition)];
+    p.budget_remaining = std::max<Duration>(0, p.budget_remaining - elapsed);
+  }
+}
+
+void Ecu::pause_running() {
+  assert(running_ != nullptr);
+  charge(*running_, kernel_.now() - run_start_);
+  if (run_event_armed_) {
+    kernel_.cancel(run_event_);
+    run_event_armed_ = false;
+  }
+  running_->state_ = Task::State::kReady;
+  running_ = nullptr;
+}
+
+void Ecu::arm_run_event() {
+  assert(running_ != nullptr);
+  Task& t = *running_;
+  assert(t.segment_remaining_ >= 0);
+  Duration until = t.segment_remaining_;
+  if (t.cfg_.budget > 0 && t.cfg_.overrun_action != OverrunAction::kNone) {
+    until = std::min(until, t.job_budget_remaining_);
+  }
+  if (t.cfg_.partition >= 0) {
+    const auto& p = partitions_[static_cast<std::size_t>(t.cfg_.partition)];
+    until = std::min(until, p.budget_remaining);
+  }
+  run_event_ = kernel_.schedule_in(
+      until, [this] { on_run_event(); }, sim::EventOrder::kKernel);
+  run_event_armed_ = true;
+}
+
+void Ecu::dispatch() {
+  if (in_dispatch_) return;
+  in_dispatch_ = true;
+  bool charge_switch = false;  // context-switch overhead owed by the incomer
+  while (true) {
+    Task* best = pick_next();
+    if (best != running_) {
+      if (running_ != nullptr) pause_running();
+      running_ = best;
+      if (running_ == nullptr) break;
+      running_->state_ = Task::State::kRunning;
+      ++context_switches_;
+      run_start_ = kernel_.now();
+      if (running_->segment_started_) {
+        running_->segment_remaining_ += ctx_switch_;
+      } else {
+        charge_switch = true;  // added once the segment is evaluated below
+      }
+    }
+    if (running_ == nullptr) break;
+    Task& t = *running_;
+    if (!t.segment_started_) {
+      t.segment_started_ = true;
+      auto& seg = t.segments_[t.segment_index_];
+      t.segment_remaining_ = seg.duration ? seg.duration() : 0;
+      if (t.segment_remaining_ < 0) {
+        throw std::logic_error("negative segment duration: " + t.cfg_.name);
+      }
+      if (charge_switch) {
+        t.segment_remaining_ += ctx_switch_;
+        charge_switch = false;
+      }
+      trace_.emit(kernel_.now(), "task.start", t.cfg_.name,
+                  static_cast<std::int64_t>(t.segment_index_));
+      if (seg.before) seg.before();
+      continue;  // the hook may have changed the ready set; re-evaluate
+    }
+    if (!run_event_armed_) arm_run_event();
+    break;
+  }
+  in_dispatch_ = false;
+}
+
+void Ecu::on_run_event() {
+  run_event_armed_ = false;
+  assert(running_ != nullptr);
+  Task& t = *running_;
+  charge(t, kernel_.now() - run_start_);
+  run_start_ = kernel_.now();
+  if (t.segment_remaining_ == 0) {
+    run_segment_boundary(t);
+  } else if (t.cfg_.budget > 0 &&
+             t.cfg_.overrun_action == OverrunAction::kKillJob &&
+             t.job_budget_remaining_ == 0) {
+    kill_job(t, "budget");
+  } else if (t.cfg_.partition >= 0) {
+    auto& p = partitions_[static_cast<std::size_t>(t.cfg_.partition)];
+    if (p.budget_remaining == 0 && !p.exhausted) {
+      p.exhausted = true;
+      ++p.throttle_count;
+      trace_.emit(kernel_.now(), "partition.exhausted", p.cfg.name);
+      running_->state_ = Task::State::kReady;
+      running_ = nullptr;
+    }
+  }
+  dispatch();
+}
+
+void Ecu::run_segment_boundary(Task& task) {
+  auto& seg = task.segments_[task.segment_index_];
+  if (seg.after) seg.after();
+  ++task.segment_index_;
+  if (task.segment_index_ < task.segments_.size()) {
+    task.segment_started_ = false;
+    task.segment_remaining_ = kUnevaluated;
+    return;  // dispatch() (in caller) will start the next segment
+  }
+  complete_job(task);
+}
+
+void Ecu::complete_job(Task& task) {
+  const Time now = kernel_.now();
+  task.response_times_.add(sim::to_ms(now - task.activation_time_));
+  ++task.jobs_completed_;
+  // Deadline misses are detected by the observer armed in begin_job.
+  trace_.emit(now, "task.complete", task.cfg_.name,
+              now - task.activation_time_);
+  if (task.completion_cb_) task.completion_cb_(task.activation_time_, now);
+  task.state_ = Task::State::kSuspended;
+  if (running_ == &task) running_ = nullptr;
+  if (!task.pending_.empty()) {
+    task.pending_.erase(task.pending_.begin());
+    begin_job(task);
+  }
+}
+
+void Ecu::kill_job(Task& task, std::string_view reason) {
+  ++task.jobs_killed_;
+  trace_.emit(kernel_.now(), "task.kill", task.cfg_.name, 0, reason);
+  task.state_ = Task::State::kSuspended;
+  if (running_ == &task) running_ = nullptr;
+  if (!task.pending_.empty()) {
+    task.pending_.erase(task.pending_.begin());
+    begin_job(task);
+  }
+}
+
+void Ecu::replenish_partition(std::size_t index) {
+  auto& p = partitions_[index];
+  p.budget_remaining = p.cfg.budget;
+  if (p.exhausted) {
+    p.exhausted = false;
+    trace_.emit(kernel_.now(), "partition.replenish", p.cfg.name);
+  }
+  dispatch();
+}
+
+}  // namespace orte::os

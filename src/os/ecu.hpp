@@ -1,0 +1,262 @@
+// OSEK/AUTOSAR-OS-style ECU kernel on top of the discrete-event simulator.
+//
+// Supported (cf. DESIGN.md S2):
+//  * preemptive fixed-priority scheduling (BCC1-like basic tasks),
+//  * periodic activation via implicit alarms (period + offset) and explicit
+//    event activation (Ecu::activate) for chained / bus-triggered tasks,
+//  * immediate priority-ceiling resources (OSEK OSEK-PCP) at segment
+//    granularity,
+//  * time-triggered dispatch via schedule tables,
+//  * timing isolation: per-job execution budgets (kill / no action) and
+//    partition budgets with periodic replenishment (throttle) — the
+//    "resource reservation" policies the paper calls for in §1/§2,
+//  * deadline and response-time monitoring with trace emission.
+//
+// Task bodies are modelled as ordered *segments*: each consumes simulated CPU
+// time and can run zero-time actions at its start and end (RTE reads/writes,
+// COM sends, mode requests). This keeps the simulation deterministic without
+// threads or coroutines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace orte::os {
+
+using sim::Duration;
+using sim::Time;
+
+class Ecu;
+class Task;
+
+/// What to do when a job exhausts its execution budget.
+enum class OverrunAction {
+  kNone,     // budgets not enforced (baseline: no timing isolation)
+  kKillJob,  // terminate the job, report, next activation runs normally
+};
+
+/// A contiguous chunk of task execution.
+struct Segment {
+  /// Simulated CPU time this segment consumes for one job. Re-evaluated per
+  /// activation so execution-time variation / fault injection can be modelled.
+  std::function<Duration()> duration;
+  /// Zero-time action at segment start (e.g. RTE implicit read).
+  std::function<void()> before;
+  /// Zero-time action at segment completion (e.g. RTE implicit write, send).
+  std::function<void()> after;
+  /// If >= 0: segment runs holding the resource with this id (immediate
+  /// priority ceiling applies for the whole segment).
+  int resource = -1;
+};
+
+struct TaskConfig {
+  std::string name;
+  int priority = 0;  ///< Higher value = higher priority.
+  /// Period for autonomous periodic activation; 0 = event-activated only.
+  Duration period = 0;
+  Time offset = 0;  ///< First activation instant for periodic tasks.
+  /// Relative deadline; 0 means "== period" (or unbounded for event tasks).
+  Duration relative_deadline = 0;
+  /// Per-job execution budget; 0 = unlimited.
+  Duration budget = 0;
+  OverrunAction overrun_action = OverrunAction::kNone;
+  /// Partition id from Ecu::add_partition, or -1 for none.
+  int partition = -1;
+  /// OSEK multiple-activation limit: how many pending activations may queue.
+  std::size_t max_pending_activations = 1;
+  /// AUTOSAR timing protection, arrival half: activations closer together
+  /// than this are rejected (counted + traced as "task.arrival_blocked").
+  /// 0 disables. Complements `budget` (the execution half): budgets stop a
+  /// task from running too LONG, inter-arrival protection stops an event
+  /// source from triggering it too OFTEN.
+  Duration min_interarrival = 0;
+};
+
+struct PartitionConfig {
+  std::string name;
+  Duration budget = 0;  ///< CPU time available per replenishment period.
+  Duration period = 0;  ///< Replenishment period.
+};
+
+/// One entry of a time-triggered schedule table.
+struct TableEntry {
+  Duration offset = 0;  ///< Offset within the table cycle.
+  std::string task;     ///< Task to activate at this expiry point.
+};
+
+class Task {
+ public:
+  explicit Task(TaskConfig cfg) : cfg_(std::move(cfg)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  const TaskConfig& config() const { return cfg_; }
+  const std::string& name() const { return cfg_.name; }
+
+  /// Append an execution segment; segments run in order within each job.
+  void add_segment(Segment seg) { segments_.push_back(std::move(seg)); }
+
+  /// Convenience: single fixed-duration segment with completion action.
+  void set_body(Duration wcet, std::function<void()> on_complete = {}) {
+    segments_.clear();
+    segments_.push_back(
+        Segment{[wcet] { return wcet; }, {}, std::move(on_complete), -1});
+  }
+
+  /// Convenience: single variable-duration segment.
+  void set_body(std::function<Duration()> duration,
+                std::function<void()> on_complete = {}) {
+    segments_.clear();
+    segments_.push_back(
+        Segment{std::move(duration), {}, std::move(on_complete), -1});
+  }
+
+  /// Invoked at each job completion with (activation, completion) instants.
+  void on_complete(std::function<void(Time, Time)> cb) {
+    completion_cb_ = std::move(cb);
+  }
+
+  // --- Observability -------------------------------------------------------
+  const sim::Stats& response_times() const { return response_times_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+  std::uint64_t jobs_killed() const { return jobs_killed_; }
+  std::uint64_t deadline_misses() const { return deadline_misses_; }
+  std::uint64_t activations_lost() const { return activations_lost_; }
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t arrivals_blocked() const { return arrivals_blocked_; }
+
+ private:
+  friend class Ecu;
+
+  enum class State { kSuspended, kReady, kRunning };
+
+  TaskConfig cfg_;
+  std::vector<Segment> segments_;
+  std::function<void(Time, Time)> completion_cb_;
+
+  // --- Job runtime state (valid while State != kSuspended) -----------------
+  State state_ = State::kSuspended;
+  std::size_t segment_index_ = 0;
+  Duration segment_remaining_ = 0;
+  bool segment_started_ = false;  ///< `before` hook already ran.
+  Duration job_budget_remaining_ = 0;
+  Time activation_time_ = 0;
+  Time absolute_deadline_ = sim::kForever;
+  std::uint64_t job_seq_ = 0;  ///< Distinguishes jobs for deadline checks.
+  std::vector<Time> pending_;  ///< Queued activation instants.
+
+  // --- Statistics -----------------------------------------------------------
+  sim::Stats response_times_;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_killed_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t activations_lost_ = 0;
+  std::uint64_t activations_ = 0;
+  std::uint64_t arrivals_blocked_ = 0;
+  Time last_arrival_ = -1;
+};
+
+/// A simulated ECU: one CPU, one scheduler, a set of tasks and partitions.
+class Ecu {
+ public:
+  Ecu(sim::Kernel& kernel, sim::Trace& trace, std::string name);
+  Ecu(const Ecu&) = delete;
+  Ecu& operator=(const Ecu&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Kernel& kernel() { return kernel_; }
+  sim::Trace& trace() { return trace_; }
+
+  /// Register a task. Must be called before start().
+  Task& add_task(TaskConfig cfg);
+
+  /// Register a partition (shared CPU reservation); returns its id.
+  int add_partition(PartitionConfig cfg);
+
+  /// Register a priority-ceiling resource; returns its id. Ceilings are
+  /// computed automatically at start() from segment usage.
+  int add_resource(std::string name);
+
+  /// Install a time-triggered schedule table (activations at fixed offsets,
+  /// repeating every `cycle`).
+  void set_schedule_table(std::vector<TableEntry> entries, Duration cycle);
+
+  /// Fixed per-dispatch context-switch overhead (default 0). Charged to the
+  /// incoming task whenever the running task changes.
+  void set_context_switch_overhead(Duration d) { ctx_switch_ = d; }
+
+  /// Compute ceilings, arm alarms and the schedule table. Call once, before
+  /// Kernel::run_until.
+  void start();
+
+  /// Event-activate a task (chained activation, bus RX, application event).
+  void activate(Task& task);
+  void activate(std::string_view task_name);
+
+  Task* find_task(std::string_view name);
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+
+  /// Fraction of elapsed time the CPU was busy since start().
+  double utilization() const;
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t partition_throttles(int partition) const;
+
+ private:
+  struct Partition {
+    PartitionConfig cfg;
+    Duration budget_remaining = 0;
+    bool exhausted = false;
+    std::uint64_t throttle_count = 0;
+  };
+  struct Resource {
+    std::string name;
+    int ceiling = std::numeric_limits<int>::min();
+  };
+
+  sim::Kernel& kernel_;
+  sim::Trace& trace_;
+  std::string name_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Partition> partitions_;
+  std::vector<Resource> resources_;
+  std::vector<TableEntry> table_;
+  Duration table_cycle_ = 0;
+  Duration ctx_switch_ = 0;
+  bool started_ = false;
+
+  Task* running_ = nullptr;
+  Time run_start_ = 0;  ///< When the running task last got the CPU.
+  sim::EventHandle run_event_;  ///< Pending completion/budget-expiry event.
+  bool run_event_armed_ = false;
+  bool in_dispatch_ = false;
+  Time started_at_ = 0;
+  Duration busy_time_ = 0;
+  std::uint64_t context_switches_ = 0;
+
+  void activate_internal(Task& task);
+  void begin_job(Task& task);
+  void dispatch();
+  void pause_running();
+  void arm_run_event();
+  void on_run_event();
+  void charge(Task& task, Duration elapsed);
+  void run_segment_boundary(Task& task);  // completion of a run-chunk
+  void complete_job(Task& task);
+  void kill_job(Task& task, std::string_view reason);
+  int effective_priority(const Task& task) const;
+  bool eligible(const Task& task) const;
+  Task* pick_next();
+  void replenish_partition(std::size_t index);
+};
+
+}  // namespace orte::os

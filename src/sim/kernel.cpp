@@ -1,0 +1,92 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace orte::sim {
+
+EventHandle Kernel::schedule_at(Time when, Action action, EventOrder order) {
+  if (when < now_) {
+    throw std::invalid_argument("Kernel::schedule_at: time in the past");
+  }
+  Event ev;
+  ev.when = when;
+  ev.order = static_cast<int>(order);
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.action = std::move(action);
+  EventHandle handle(ev.id);
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+EventHandle Kernel::schedule_in(Duration delay, Action action,
+                                EventOrder order) {
+  return schedule_at(now_ + delay, std::move(action), order);
+}
+
+EventHandle Kernel::schedule_periodic(Time first, Duration period,
+                                      Action action, EventOrder order) {
+  if (period <= 0) {
+    throw std::invalid_argument("Kernel::schedule_periodic: period <= 0");
+  }
+  if (first < now_) {
+    throw std::invalid_argument("Kernel::schedule_periodic: first in past");
+  }
+  const std::uint64_t id = next_id_++;
+  periodics_.push_back(Periodic{id, period, static_cast<int>(order),
+                                std::make_shared<Action>(std::move(action))});
+  push_periodic_occurrence(id, first);
+  return EventHandle(id);
+}
+
+void Kernel::push_periodic_occurrence(std::uint64_t id, Time when) {
+  auto it = std::find_if(periodics_.begin(), periodics_.end(),
+                         [id](const Periodic& p) { return p.id == id; });
+  if (it == periodics_.end()) return;
+  Event ev;
+  ev.when = when;
+  ev.order = it->order;
+  ev.seq = next_seq_++;
+  ev.id = id;
+  const Duration period = it->period;
+  auto payload = it->payload;
+  ev.action = [this, id, period, payload]() {
+    (*payload)();
+    if (!is_cancelled(id)) push_periodic_occurrence(id, now_ + period);
+  };
+  queue_.push(std::move(ev));
+}
+
+void Kernel::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.id_);
+  periodics_.erase(std::remove_if(periodics_.begin(), periodics_.end(),
+                                  [&](const Periodic& p) {
+                                    return p.id == handle.id_;
+                                  }),
+                   periodics_.end());
+}
+
+bool Kernel::is_cancelled(std::uint64_t id) {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+Time Kernel::run_until(Time horizon) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > horizon) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+  }
+  if (!stopped_ && now_ < horizon && horizon != kForever) now_ = horizon;
+  return now_;
+}
+
+}  // namespace orte::sim

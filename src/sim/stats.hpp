@@ -1,0 +1,72 @@
+// Sample accumulator for experiment reporting: min/max/mean/stddev/percentile.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace orte::sim {
+
+class Stats {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double min() const {
+    require_samples();
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double max() const {
+    require_samples();
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double mean() const {
+    require_samples();
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] double stddev() const {
+    require_samples();
+    const double m = mean();
+    double s = 0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size()));
+  }
+  /// p in [0, 100]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const {
+    require_samples();
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+    const auto n = sorted_samples_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank > 0) --rank;
+    if (rank >= n) rank = n - 1;
+    return sorted_samples_[rank];
+  }
+  /// max - min: the jitter metric used throughout the experiments.
+  [[nodiscard]] double spread() const { return max() - min(); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void require_samples() const {
+    if (samples_.empty()) throw std::logic_error("Stats: no samples");
+  }
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace orte::sim

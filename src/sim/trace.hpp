@@ -1,0 +1,70 @@
+// Structured event trace. Observers (tests, benches) subscribe to categories;
+// records are also retained for post-run queries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace orte::sim {
+
+struct TraceRecord {
+  Time when = 0;
+  std::string category;  // e.g. "task.release", "can.tx", "budget.overrun"
+  std::string subject;   // task/frame/node name
+  std::int64_t value = 0;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  using Listener = std::function<void(const TraceRecord&)>;
+
+  void enable_retention(bool on) { retain_ = on; }
+
+  void emit(Time when, std::string_view category, std::string_view subject,
+            std::int64_t value = 0, std::string_view detail = {}) {
+    TraceRecord rec{when, std::string(category), std::string(subject), value,
+                    std::string(detail)};
+    for (const auto& l : listeners_) l(rec);
+    if (retain_) records_.push_back(std::move(rec));
+  }
+
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t count(std::string_view category) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.category == category) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t count(std::string_view category,
+                                  std::string_view subject) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.category == category && r.subject == subject) ++n;
+    }
+    return n;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Listener> listeners_;
+  std::vector<TraceRecord> records_;
+  bool retain_ = true;
+};
+
+}  // namespace orte::sim

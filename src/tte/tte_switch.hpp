@@ -1,0 +1,148 @@
+// Time-triggered Ethernet (§4: "time-triggered protocols, such as FlexRay,
+// TTP or Time-triggered Ethernet").
+//
+// One switch, one full-duplex link per endpoint, three traffic classes:
+//  * TT  (time-triggered)  — frames leave the source at schedule-defined
+//    instants (offset within a period) and take priority at the egress port;
+//    a lower-class frame already in transmission is *shuffled* (the TT frame
+//    waits for it), so TT jitter is bounded by one max-size lower-class
+//    frame — the integration policy real TTE switches implement.
+//  * RC  (rate-constrained) — AFDX-style: each flow declares a BAG (minimum
+//    inter-frame gap); the ingress policer drops violating frames, which is
+//    what contains a babbling RC talker.
+//  * BE  (best effort)      — whatever bandwidth is left.
+// Store-and-forward: ingress serialization + switch latency + egress
+// serialization (with class-priority queueing at the egress port).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace orte::tte {
+
+using sim::Duration;
+using sim::Time;
+
+enum class TrafficClass { kTimeTriggered, kRateConstrained, kBestEffort };
+
+struct TteFlow {
+  std::uint32_t id = 0;
+  TrafficClass cls = TrafficClass::kBestEffort;
+  int source = -1;
+  int destination = -1;
+  std::size_t bytes = 64;   ///< Frame size (TT) / declared max (RC, BE).
+  Duration period = 0;      ///< TT: dispatch period.
+  Duration offset = 0;      ///< TT: dispatch offset within the period.
+  Duration bag = 0;         ///< RC: minimum inter-frame gap (policed).
+};
+
+struct TteFrame {
+  std::uint32_t flow = 0;
+  std::vector<std::uint8_t> payload;
+  Time enqueued_at = 0;
+  Time delivered_at = 0;
+};
+
+struct TteConfig {
+  std::string name = "tte0";
+  std::int64_t link_bandwidth_bps = 100'000'000;
+  Duration switch_latency = sim::microseconds(2);  ///< Forwarding delay.
+};
+
+class TteSwitch;
+
+class TteEndpoint {
+ public:
+  using RxCallback = std::function<void(const TteFrame&)>;
+
+  /// Submit application data on a flow owned by this endpoint.
+  /// TT flows: overwrites the flow buffer (state semantics; the schedule
+  /// transmits the latest value). RC/BE: queues for immediate transmission,
+  /// subject to policing (RC) and egress arbitration.
+  void send(std::uint32_t flow, std::vector<std::uint8_t> payload);
+
+  void on_receive(RxCallback cb) { rx_.push_back(std::move(cb)); }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class TteSwitch;
+  TteEndpoint(TteSwitch& sw, int index, std::string name)
+      : switch_(&sw), index_(index), name_(std::move(name)) {}
+  void deliver(const TteFrame& f) {
+    for (const auto& cb : rx_) cb(f);
+  }
+
+  TteSwitch* switch_;
+  int index_;
+  std::string name_;
+  std::vector<RxCallback> rx_;
+};
+
+class TteSwitch {
+ public:
+  TteSwitch(sim::Kernel& kernel, sim::Trace& trace, TteConfig cfg);
+  TteSwitch(const TteSwitch&) = delete;
+  TteSwitch& operator=(const TteSwitch&) = delete;
+
+  TteEndpoint& attach(std::string name);
+  void add_flow(TteFlow flow);
+
+  /// Arm the TT dispatch schedule. Call once after attach/add_flow.
+  void start();
+
+  [[nodiscard]] Duration tx_time(std::size_t bytes) const {
+    // Minimum Ethernet frame on the wire is 84 bytes (incl. preamble/IFG).
+    const std::size_t wire = std::max<std::size_t>(bytes + 38, 84);
+    return static_cast<Duration>(wire) * 8 * bit_time_;
+  }
+  [[nodiscard]] const sim::Stats& flow_latency_us(std::uint32_t flow) const;
+  [[nodiscard]] std::uint64_t policing_drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+  [[nodiscard]] const TteConfig& config() const { return cfg_; }
+
+ private:
+  friend class TteEndpoint;
+
+  struct Egress {
+    bool busy = false;
+    std::deque<TteFrame> tt;
+    std::deque<TteFrame> rc;
+    std::deque<TteFrame> be;
+  };
+
+  void submit(int source, std::uint32_t flow_id,
+              std::vector<std::uint8_t> payload);
+  void dispatch_tt(const TteFlow& flow);
+  /// Frame has finished ingress + switch; enqueue at the egress port.
+  void to_egress(const TteFlow& flow, TteFrame frame);
+  void serve_egress(std::size_t port);
+
+  sim::Kernel& kernel_;
+  sim::Trace& trace_;
+  TteConfig cfg_;
+  Duration bit_time_;
+  std::vector<std::unique_ptr<TteEndpoint>> endpoints_;
+  std::vector<TteFlow> flows_;
+  std::vector<Egress> egress_;
+  std::map<std::uint32_t, std::optional<std::vector<std::uint8_t>>> tt_buffer_;
+  std::map<std::uint32_t, Time> rc_last_tx_;
+  std::map<std::uint32_t, sim::Stats> latency_us_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool started_ = false;
+
+  [[nodiscard]] const TteFlow* find_flow(std::uint32_t id) const;
+};
+
+}  // namespace orte::tte

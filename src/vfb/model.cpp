@@ -1,0 +1,180 @@
+#include "vfb/model.hpp"
+
+#include <stdexcept>
+
+namespace orte::vfb {
+
+namespace {
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("Composition: " + msg);
+}
+std::string key3(std::string_view a, std::string_view b, std::string_view c) {
+  std::string k;
+  k.reserve(a.size() + b.size() + c.size() + 2);
+  k.append(a).push_back('.');
+  k.append(b).push_back('.');
+  k.append(c);
+  return k;
+}
+}  // namespace
+
+void Composition::add_interface(PortInterface iface) {
+  const std::string name = iface.name;
+  if (!interfaces_.emplace(name, std::move(iface)).second) {
+    fail("duplicate interface " + name);
+  }
+}
+
+void Composition::add_type(ComponentType type) {
+  const std::string name = type.name;
+  if (!types_.emplace(name, std::move(type)).second) {
+    fail("duplicate component type " + name);
+  }
+}
+
+void Composition::add_instance(ComponentInstance instance) {
+  for (const auto& i : instances_) {
+    if (i.name == instance.name) fail("duplicate instance " + instance.name);
+  }
+  instances_.push_back(std::move(instance));
+}
+
+void Composition::add_connector(Connector connector) {
+  connectors_.push_back(std::move(connector));
+}
+
+void Composition::set_operation_handler(std::string_view type,
+                                        std::string_view port,
+                                        std::string_view operation,
+                                        OperationHandler handler) {
+  handlers_[key3(type, port, operation)] = std::move(handler);
+}
+
+const PortInterface& Composition::interface(std::string_view name) const {
+  auto it = interfaces_.find(name);
+  if (it == interfaces_.end()) fail("unknown interface " + std::string(name));
+  return it->second;
+}
+
+const ComponentType& Composition::type(std::string_view name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) fail("unknown component type " + std::string(name));
+  return it->second;
+}
+
+const ComponentInstance& Composition::instance(std::string_view name) const {
+  for (const auto& i : instances_) {
+    if (i.name == name) return i;
+  }
+  fail("unknown instance " + std::string(name));
+}
+
+const Port& Composition::port_of(std::string_view inst,
+                                 std::string_view port) const {
+  const ComponentType& t = type(instance(inst).type);
+  for (const auto& p : t.ports) {
+    if (p.name == port) return p;
+  }
+  fail("instance " + std::string(inst) + " has no port " + std::string(port));
+}
+
+const DataElement& Composition::element_of(std::string_view inst,
+                                           std::string_view port,
+                                           std::string_view element) const {
+  const PortInterface& iface = interface(port_of(inst, port).interface);
+  for (const auto& e : iface.elements) {
+    if (e.name == element) return e;
+  }
+  fail("interface " + iface.name + " has no element " + std::string(element));
+}
+
+const Composition::OperationHandler* Composition::operation_handler(
+    std::string_view type, std::string_view port,
+    std::string_view operation) const {
+  auto it = handlers_.find(key3(type, port, operation));
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Connector*> Composition::connections_from(
+    std::string_view instance, std::string_view port) const {
+  std::vector<const Connector*> out;
+  for (const auto& c : connectors_) {
+    if (c.from_instance == instance && c.from_port == port) {
+      out.push_back(&c);
+    }
+  }
+  return out;
+}
+
+const Connector* Composition::connection_to(std::string_view instance,
+                                            std::string_view port) const {
+  for (const auto& c : connectors_) {
+    if (c.to_instance == instance && c.to_port == port) return &c;
+  }
+  return nullptr;
+}
+
+void Composition::validate() const {
+  for (const auto& inst : instances_) {
+    const ComponentType& t = type(inst.type);  // throws if unknown
+    for (const auto& p : t.ports) {
+      interface(p.interface);  // throws if unknown
+    }
+    for (const auto& r : t.runnables) {
+      for (const auto& acc : r.accesses) {
+        const Port& p = port_of(inst.name, acc.port);
+        const PortInterface& iface = interface(p.interface);
+        if (iface.kind != PortInterface::Kind::kSenderReceiver) {
+          fail("data access on non-SR port " + acc.port);
+        }
+        element_of(inst.name, acc.port, acc.element);
+        const bool writes = acc.kind == DataAccessKind::kImplicitWrite ||
+                            acc.kind == DataAccessKind::kExplicitWrite;
+        if (writes && p.direction != PortDirection::kProvided) {
+          fail("runnable " + r.name + " writes required port " + acc.port);
+        }
+        if (!writes && p.direction != PortDirection::kRequired) {
+          fail("runnable " + r.name + " reads provided port " + acc.port);
+        }
+      }
+      if (r.trigger.kind == RunnableTrigger::Kind::kTiming &&
+          r.trigger.period <= 0) {
+        fail("timing runnable " + r.name + " has no period");
+      }
+      if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived) {
+        element_of(inst.name, r.trigger.port, r.trigger.element);
+      }
+    }
+  }
+  for (const auto& c : connectors_) {
+    const Port& from = port_of(c.from_instance, c.from_port);
+    const Port& to = port_of(c.to_instance, c.to_port);
+    if (from.direction != PortDirection::kProvided) {
+      fail("connector source " + c.from_port + " is not a provided port");
+    }
+    if (to.direction != PortDirection::kRequired) {
+      fail("connector target " + c.to_port + " is not a required port");
+    }
+    if (from.interface != to.interface) {
+      fail("connector interface mismatch: " + from.interface + " vs " +
+           to.interface);
+    }
+  }
+  // A required SR/CS port may have at most one feeding connector.
+  for (const auto& inst : instances_) {
+    const ComponentType& t = type(inst.type);
+    for (const auto& p : t.ports) {
+      if (p.direction != PortDirection::kRequired) continue;
+      int feeds = 0;
+      for (const auto& c : connectors_) {
+        if (c.to_instance == inst.name && c.to_port == p.name) ++feeds;
+      }
+      if (feeds > 1) {
+        fail("required port " + inst.name + "." + p.name +
+             " fed by multiple connectors");
+      }
+    }
+  }
+}
+
+}  // namespace orte::vfb

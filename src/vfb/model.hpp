@@ -1,0 +1,181 @@
+// AUTOSAR-style component model: the design-time view of the Virtual
+// Functional Bus (§2).
+//
+// Software components (SWC types) expose ports typed by port interfaces
+// (sender-receiver data elements or client-server operations) and contain
+// runnables triggered by timing or data-received events. Compositions
+// instantiate types and wire ports with assembly connectors. The model is
+// deployment-independent: the same Composition maps onto 1 ECU or N ECUs
+// (location independence), which is exactly what the extensibility and
+// integration experiments exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace orte::vfb {
+
+using sim::Duration;
+
+struct DataElement {
+  std::string name;
+  std::size_t bit_length = 32;  ///< 1..64; packed into COM signals as-is.
+  std::uint64_t init = 0;
+  bool queued = false;  ///< Queued (event) semantics instead of last-is-best.
+};
+
+struct Operation {
+  std::string name;
+  Duration wcet = 0;  ///< Server execution time, inlined into sync callers.
+};
+
+struct PortInterface {
+  enum class Kind { kSenderReceiver, kClientServer };
+  std::string name;
+  Kind kind = Kind::kSenderReceiver;
+  std::vector<DataElement> elements;    ///< Sender-receiver payload.
+  std::vector<Operation> operations;    ///< Client-server operations.
+};
+
+enum class PortDirection { kProvided, kRequired };
+
+struct Port {
+  std::string name;
+  std::string interface;
+  PortDirection direction = PortDirection::kProvided;
+};
+
+enum class DataAccessKind {
+  kImplicitRead,   ///< Stable copy taken at runnable start.
+  kImplicitWrite,  ///< Published at runnable completion.
+  kExplicitRead,   ///< Reads the live value during execution.
+  kExplicitWrite,  ///< Publishes immediately during execution.
+};
+
+struct DataAccess {
+  std::string port;
+  std::string element;
+  DataAccessKind kind = DataAccessKind::kExplicitRead;
+};
+
+struct RunnableTrigger {
+  enum class Kind { kTiming, kDataReceived, kInit };
+  Kind kind = Kind::kTiming;
+  Duration period = 0;   ///< kTiming.
+  std::string port;      ///< kDataReceived.
+  std::string element;   ///< kDataReceived.
+
+  static RunnableTrigger timing(Duration period) {
+    return {Kind::kTiming, period, {}, {}};
+  }
+  static RunnableTrigger data_received(std::string port, std::string element) {
+    return {Kind::kDataReceived, 0, std::move(port), std::move(element)};
+  }
+  static RunnableTrigger init() { return {Kind::kInit, 0, {}, {}}; }
+};
+
+class RunnableContext;  // defined in rte.hpp
+
+struct Runnable {
+  std::string name;
+  RunnableTrigger trigger;
+  /// Execution time per activation (re-evaluated each run, so fault
+  /// injection / jittery execution is a closure away). Null = zero time.
+  std::function<Duration()> execution_time;
+  /// Declared WCET bound for design-time analysis and time-triggered
+  /// schedule synthesis; 0 = "use a probe of execution_time" (valid only for
+  /// deterministic execution-time closures).
+  Duration wcet_bound = 0;
+  std::vector<DataAccess> accesses;
+  /// "port.operation" sync server calls this runnable may make; their WCET is
+  /// inlined into this runnable's budget by the RTE generator.
+  std::vector<std::string> server_calls;
+  /// The actual computation; runs at runnable completion (zero sim-time).
+  std::function<void(RunnableContext&)> behavior;
+  /// Mode-dependent execution (AUTOSAR mode disabling): when set and
+  /// returning false at activation, the runnable consumes no CPU and its
+  /// behavior is skipped for that activation. Typically wired to a
+  /// bsw::ModeMachine ("run only in RUN mode").
+  std::function<bool()> enabled_if;
+};
+
+struct ComponentType {
+  std::string name;
+  std::vector<Port> ports;
+  std::vector<Runnable> runnables;
+};
+
+struct ComponentInstance {
+  std::string name;
+  std::string type;
+};
+
+/// Assembly connector: provided port -> required port. Fan-out is expressed
+/// with several connectors sharing the same source.
+struct Connector {
+  std::string from_instance;
+  std::string from_port;
+  std::string to_instance;
+  std::string to_port;
+};
+
+/// A self-contained VFB system model. Mirrors what the AUTOSAR software
+/// component template carries, as a typed API instead of ARXML.
+class Composition {
+ public:
+  using OperationHandler = std::function<std::uint64_t(std::uint64_t)>;
+
+  void add_interface(PortInterface iface);
+  void add_type(ComponentType type);
+  void add_instance(ComponentInstance instance);
+  void add_connector(Connector connector);
+
+  /// Register the implementation of a client-server operation for a type.
+  void set_operation_handler(std::string_view type, std::string_view port,
+                             std::string_view operation,
+                             OperationHandler handler);
+
+  /// Structural validation: every reference resolves, connector directions
+  /// and interfaces match, required ports are connected at most once.
+  /// Throws std::invalid_argument with a diagnostic on the first violation.
+  void validate() const;
+
+  // --- Lookups (throw on unknown names) ------------------------------------
+  const PortInterface& interface(std::string_view name) const;
+  const ComponentType& type(std::string_view name) const;
+  const ComponentInstance& instance(std::string_view name) const;
+  const Port& port_of(std::string_view instance, std::string_view port) const;
+  const DataElement& element_of(std::string_view instance,
+                                std::string_view port,
+                                std::string_view element) const;
+  const OperationHandler* operation_handler(std::string_view type,
+                                            std::string_view port,
+                                            std::string_view operation) const;
+
+  const std::vector<ComponentInstance>& instances() const {
+    return instances_;
+  }
+  const std::vector<Connector>& connectors() const { return connectors_; }
+
+  /// Connectors whose source is (instance, port).
+  std::vector<const Connector*> connections_from(std::string_view instance,
+                                                 std::string_view port) const;
+  /// The single connector feeding required port (instance, port), or null.
+  const Connector* connection_to(std::string_view instance,
+                                 std::string_view port) const;
+
+ private:
+  std::map<std::string, PortInterface, std::less<>> interfaces_;
+  std::map<std::string, ComponentType, std::less<>> types_;
+  std::vector<ComponentInstance> instances_;
+  std::vector<Connector> connectors_;
+  std::map<std::string, OperationHandler, std::less<>> handlers_;
+};
+
+}  // namespace orte::vfb

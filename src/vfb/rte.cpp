@@ -1,0 +1,238 @@
+#include "vfb/rte.hpp"
+
+#include <stdexcept>
+
+namespace orte::vfb {
+
+namespace {
+std::string runnable_key(const std::string& instance,
+                         const Runnable& runnable) {
+  return instance + "/" + runnable.name;
+}
+}  // namespace
+
+// --- RunnableContext ---------------------------------------------------------
+
+std::uint64_t RunnableContext::read(std::string_view port,
+                                    std::string_view element) {
+  return rte_->context_read(*instance_, *runnable_, port, element);
+}
+
+void RunnableContext::write(std::string_view port, std::string_view element,
+                            std::uint64_t value) {
+  rte_->context_write(*instance_, *runnable_, port, element, value);
+}
+
+std::uint64_t RunnableContext::call(std::string_view port,
+                                    std::string_view operation,
+                                    std::uint64_t argument) {
+  return rte_->context_call(*instance_, port, operation, argument);
+}
+
+sim::Time RunnableContext::now() const { return rte_->kernel_.now(); }
+
+// --- Rte ----------------------------------------------------------------------
+
+Rte::Rte(sim::Kernel& kernel, sim::Trace& trace,
+         const Composition& composition, std::string ecu_name)
+    : kernel_(kernel),
+      trace_(trace),
+      composition_(composition),
+      ecu_name_(std::move(ecu_name)) {}
+
+std::string Rte::key(std::string_view instance, std::string_view port,
+                     std::string_view element) {
+  std::string k;
+  k.reserve(instance.size() + port.size() + element.size() + 2);
+  k.append(instance).push_back('.');
+  k.append(port).push_back('.');
+  k.append(element);
+  return k;
+}
+
+void Rte::add_local_route(const std::string& sender_key,
+                          const std::string& receiver_key, bool queued,
+                          std::uint64_t init) {
+  local_routes_[sender_key].push_back(receiver_key);
+  Slot& slot = slots_[receiver_key];
+  slot.queued = queued;
+  slot.value = init;
+}
+
+void Rte::add_remote_route(const std::string& sender_key, bsw::Com& com,
+                           std::string signal) {
+  remote_routes_[sender_key].push_back(RemoteRoute{&com, std::move(signal)});
+}
+
+void Rte::add_remote_receiver(const std::string& receiver_key, bool queued,
+                              std::uint64_t init) {
+  Slot& slot = slots_[receiver_key];
+  slot.queued = queued;
+  slot.value = init;
+}
+
+void Rte::deliver(const std::string& receiver_key, std::uint64_t value) {
+  auto it = slots_.find(receiver_key);
+  if (it == slots_.end()) {
+    throw std::logic_error("Rte::deliver to unknown slot " + receiver_key);
+  }
+  Slot& slot = it->second;
+  if (slot.queued) {
+    slot.queue.push_back(value);
+  }
+  slot.value = value;
+  slot.last_update = kernel_.now();
+  auto hooks = update_hooks_.find(receiver_key);
+  if (hooks != update_hooks_.end()) {
+    for (const auto& cb : hooks->second) cb();
+  }
+}
+
+void Rte::on_update(const std::string& receiver_key,
+                    std::function<void()> cb) {
+  update_hooks_[receiver_key].push_back(std::move(cb));
+}
+
+void Rte::capture_implicit(const std::string& instance,
+                           const Runnable& runnable) {
+  auto& snapshot = implicit_in_[runnable_key(instance, runnable)];
+  snapshot.clear();
+  for (const auto& acc : runnable.accesses) {
+    if (acc.kind != DataAccessKind::kImplicitRead) continue;
+    const Connector* conn = composition_.connection_to(instance, acc.port);
+    const std::string k = key(instance, acc.port, acc.element);
+    auto it = slots_.find(k);
+    std::uint64_t value;
+    if (it != slots_.end()) {
+      value = it->second.value;
+    } else {
+      value = composition_.element_of(instance, acc.port, acc.element).init;
+    }
+    (void)conn;
+    snapshot[k] = value;
+  }
+  implicit_out_[runnable_key(instance, runnable)].clear();
+}
+
+void Rte::run_behavior(const std::string& instance, const Runnable& runnable) {
+  trace_.emit(kernel_.now(), "rte.runnable", instance, 0, runnable.name);
+  if (runnable.behavior) {
+    RunnableContext ctx(*this, instance, runnable);
+    runnable.behavior(ctx);
+  }
+  // Publish implicit writes in declaration order.
+  const std::string rk = runnable_key(instance, runnable);
+  auto& outbox = implicit_out_[rk];
+  for (const auto& acc : runnable.accesses) {
+    if (acc.kind != DataAccessKind::kImplicitWrite) continue;
+    const std::string k = key(instance, acc.port, acc.element);
+    auto it = outbox.find(k);
+    if (it != outbox.end()) publish(k, it->second);
+  }
+  outbox.clear();
+}
+
+const DataAccess* Rte::find_access(const Runnable& runnable,
+                                   std::string_view port,
+                                   std::string_view element) const {
+  for (const auto& acc : runnable.accesses) {
+    if (acc.port == port && acc.element == element) return &acc;
+  }
+  return nullptr;
+}
+
+std::uint64_t Rte::context_read(const std::string& instance,
+                                const Runnable& runnable,
+                                std::string_view port,
+                                std::string_view element) {
+  ++reads_;
+  const DataAccess* acc = find_access(runnable, port, element);
+  if (acc == nullptr) {
+    throw std::logic_error("undeclared read access: " + runnable.name + " " +
+                           std::string(port) + "." + std::string(element));
+  }
+  const std::string k = key(instance, port, element);
+  if (acc->kind == DataAccessKind::kImplicitRead) {
+    const auto& snapshot = implicit_in_[runnable_key(instance, runnable)];
+    auto it = snapshot.find(k);
+    if (it != snapshot.end()) return it->second;
+    return composition_.element_of(instance, port, element).init;
+  }
+  auto it = slots_.find(k);
+  if (it == slots_.end()) {
+    return composition_.element_of(instance, port, element).init;
+  }
+  Slot& slot = it->second;
+  if (slot.queued) {
+    if (slot.queue.empty()) {
+      return composition_.element_of(instance, port, element).init;
+    }
+    const std::uint64_t v = slot.queue.front();
+    slot.queue.pop_front();
+    return v;
+  }
+  return slot.value;
+}
+
+void Rte::context_write(const std::string& instance, const Runnable& runnable,
+                        std::string_view port, std::string_view element,
+                        std::uint64_t value) {
+  ++writes_;
+  const DataAccess* acc = find_access(runnable, port, element);
+  if (acc == nullptr) {
+    throw std::logic_error("undeclared write access: " + runnable.name + " " +
+                           std::string(port) + "." + std::string(element));
+  }
+  const std::string k = key(instance, port, element);
+  if (acc->kind == DataAccessKind::kImplicitWrite) {
+    implicit_out_[runnable_key(instance, runnable)][k] = value;
+    return;
+  }
+  publish(k, value);
+}
+
+std::uint64_t Rte::context_call(const std::string& instance,
+                                std::string_view port,
+                                std::string_view operation,
+                                std::uint64_t argument) {
+  ++calls_;
+  const Connector* conn = composition_.connection_to(instance, port);
+  if (conn == nullptr) {
+    throw std::logic_error("client-server port not connected: " +
+                           instance + "." + std::string(port));
+  }
+  const auto& server_type = composition_.instance(conn->from_instance).type;
+  const auto* handler = composition_.operation_handler(
+      server_type, conn->from_port, operation);
+  if (handler == nullptr) {
+    throw std::logic_error("no handler for operation " +
+                           std::string(operation) + " on " + server_type);
+  }
+  trace_.emit(kernel_.now(), "rte.call", instance, 0, std::string(operation));
+  return (*handler)(argument);
+}
+
+void Rte::publish(const std::string& sender_key, std::uint64_t value) {
+  trace_.emit(kernel_.now(), "rte.write", sender_key,
+              static_cast<std::int64_t>(value));
+  auto lit = local_routes_.find(sender_key);
+  if (lit != local_routes_.end()) {
+    for (const auto& receiver : lit->second) deliver(receiver, value);
+  }
+  auto rit = remote_routes_.find(sender_key);
+  if (rit != remote_routes_.end()) {
+    for (const auto& route : rit->second) {
+      route.com->send_signal(route.signal, value);
+    }
+  }
+}
+
+std::uint64_t Rte::peek(const std::string& receiver_key) const {
+  auto it = slots_.find(receiver_key);
+  if (it == slots_.end()) {
+    throw std::invalid_argument("Rte::peek: unknown slot " + receiver_key);
+  }
+  return it->second.value;
+}
+
+}  // namespace orte::vfb

@@ -1,0 +1,143 @@
+// Per-ECU Runtime Environment: "the run-time implementation of the Virtual
+// Functional Bus on a specific ECU" (§2).
+//
+// The RTE routes every port write to its connected receivers: same-ECU
+// connections become in-memory copies (plus data-received activations),
+// cross-ECU connections become COM signal transmissions. It also implements
+// the two AUTOSAR access semantics:
+//  * implicit — a runnable sees a stable snapshot taken when it starts and
+//    publishes its outputs only when it completes,
+//  * explicit — reads/writes touch the live values immediately.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bsw/com.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+#include "vfb/model.hpp"
+
+namespace orte::vfb {
+
+class Rte;
+
+/// The API surface a runnable's behavior sees (Rte_Read/Rte_Write/Rte_Call).
+class RunnableContext {
+ public:
+  /// Read a data element through a required port. Implicit accesses return
+  /// the snapshot captured at runnable start; queued elements pop FIFO.
+  std::uint64_t read(std::string_view port, std::string_view element);
+  /// Write a data element through a provided port. Implicit accesses are
+  /// published at runnable completion; explicit ones immediately.
+  void write(std::string_view port, std::string_view element,
+             std::uint64_t value);
+  /// Synchronous client-server call through a required port.
+  std::uint64_t call(std::string_view port, std::string_view operation,
+                     std::uint64_t argument);
+  [[nodiscard]] sim::Time now() const;
+  [[nodiscard]] const std::string& instance() const { return *instance_; }
+
+ private:
+  friend class Rte;
+  RunnableContext(Rte& rte, const std::string& instance,
+                  const Runnable& runnable)
+      : rte_(&rte), instance_(&instance), runnable_(&runnable) {}
+
+  Rte* rte_;
+  const std::string* instance_;
+  const Runnable* runnable_;
+};
+
+class Rte {
+ public:
+  Rte(sim::Kernel& kernel, sim::Trace& trace, const Composition& composition,
+      std::string ecu_name);
+  Rte(const Rte&) = delete;
+  Rte& operator=(const Rte&) = delete;
+
+  static std::string key(std::string_view instance, std::string_view port,
+                         std::string_view element);
+
+  // --- Wiring (called by the System generator) ------------------------------
+  /// Same-ECU connection: writes to `sender` propagate to `receiver`.
+  void add_local_route(const std::string& sender_key,
+                       const std::string& receiver_key, bool queued,
+                       std::uint64_t init);
+  /// Cross-ECU connection: writes to `sender` go out as a COM signal.
+  void add_remote_route(const std::string& sender_key, bsw::Com& com,
+                        std::string signal);
+  /// Declare a receiver slot fed from the network (COM rx side).
+  void add_remote_receiver(const std::string& receiver_key, bool queued,
+                           std::uint64_t init);
+  /// Network delivery entry point (wired to Com::on_signal).
+  void deliver(const std::string& receiver_key, std::uint64_t value);
+  /// Run `cb` whenever `receiver_key` is updated (data-received activation).
+  void on_update(const std::string& receiver_key, std::function<void()> cb);
+
+  // --- Execution (called from generated task segments) ----------------------
+  /// Snapshot all implicit-read accesses of the runnable (segment start).
+  void capture_implicit(const std::string& instance, const Runnable& runnable);
+  /// Execute the behavior and publish implicit writes (segment end).
+  void run_behavior(const std::string& instance, const Runnable& runnable);
+
+  // --- Introspection ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+  [[nodiscard]] const std::string& ecu_name() const { return ecu_name_; }
+  /// Live value of a receiver slot (testing/diagnosis).
+  [[nodiscard]] std::uint64_t peek(const std::string& receiver_key) const;
+
+ private:
+  friend class RunnableContext;
+
+  struct Slot {
+    std::uint64_t value = 0;
+    bool queued = false;
+    std::deque<std::uint64_t> queue;
+    sim::Time last_update = -1;
+  };
+
+  std::uint64_t context_read(const std::string& instance,
+                             const Runnable& runnable, std::string_view port,
+                             std::string_view element);
+  void context_write(const std::string& instance, const Runnable& runnable,
+                     std::string_view port, std::string_view element,
+                     std::uint64_t value);
+  std::uint64_t context_call(const std::string& instance,
+                             std::string_view port, std::string_view operation,
+                             std::uint64_t argument);
+  void publish(const std::string& sender_key, std::uint64_t value);
+  const DataAccess* find_access(const Runnable& runnable,
+                                std::string_view port,
+                                std::string_view element) const;
+
+  sim::Kernel& kernel_;
+  sim::Trace& trace_;
+  const Composition& composition_;
+  std::string ecu_name_;
+
+  std::map<std::string, Slot> slots_;  ///< Receiver-side caches.
+  std::map<std::string, std::vector<std::string>> local_routes_;
+  struct RemoteRoute {
+    bsw::Com* com = nullptr;
+    std::string signal;
+  };
+  std::map<std::string, std::vector<RemoteRoute>> remote_routes_;
+  std::map<std::string, std::vector<std::function<void()>>> update_hooks_;
+  /// Implicit snapshot/outbox per "instance/runnable".
+  std::map<std::string, std::map<std::string, std::uint64_t>> implicit_in_;
+  std::map<std::string, std::map<std::string, std::uint64_t>> implicit_out_;
+
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace orte::vfb

@@ -1,0 +1,622 @@
+#include "vfb/system.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "analysis/frame_packing.hpp"
+#include "analysis/tt_schedule.hpp"
+
+namespace orte::vfb {
+
+namespace {
+
+std::string periodic_task_name(const std::string& instance,
+                               sim::Duration period) {
+  return "tk|" + instance + "|" + std::to_string(period);
+}
+std::string event_task_name(const std::string& instance,
+                            const std::string& runnable) {
+  return "tk|" + instance + "|" + runnable;
+}
+
+/// One cross-ECU data element to be carried as a COM signal.
+struct SignalSpec {
+  std::string name;        ///< COM signal / I-PDU name.
+  std::string sender_key;  ///< Rte sender key.
+  std::string sender_ecu;
+  std::size_t bit_length = 32;
+  std::uint64_t init = 0;
+  bool queued = false;
+  sim::Duration sort_period = sim::kForever;
+  /// (receiver ECU, receiver Rte key) pairs.
+  std::vector<std::pair<std::string, std::string>> receivers;
+  std::uint32_t frame_id = 0;
+};
+
+}  // namespace
+
+System::System(sim::Kernel& kernel, sim::Trace& trace,
+               const Composition& model, DeploymentPlan plan)
+    : kernel_(kernel), trace_(trace), model_(model), plan_(std::move(plan)) {
+  build();
+}
+
+const InstanceDeployment& System::deployment(
+    const std::string& instance) const {
+  auto it = plan_.instances.find(instance);
+  if (it == plan_.instances.end()) {
+    throw std::invalid_argument("no deployment for instance " + instance);
+  }
+  return it->second;
+}
+
+System::EcuCtx& System::ctx(const std::string& ecu_name) {
+  auto it = ecus_.find(ecu_name);
+  if (it == ecus_.end()) {
+    throw std::invalid_argument("unknown ECU " + ecu_name);
+  }
+  return it->second;
+}
+
+sim::Duration System::inlined_wcet(const std::string& instance,
+                                   const Runnable& runnable) const {
+  sim::Duration inlined = 0;
+  for (const auto& call : runnable.server_calls) {
+    const auto dot = call.find('.');
+    if (dot == std::string::npos) {
+      throw std::invalid_argument("server call must be 'port.operation': " +
+                                  call);
+    }
+    const std::string port = call.substr(0, dot);
+    const std::string op = call.substr(dot + 1);
+    const Connector* conn = model_.connection_to(instance, port);
+    if (conn == nullptr) {
+      throw std::invalid_argument("server call on unconnected port " +
+                                  instance + "." + port);
+    }
+    if (deployment(conn->from_instance).ecu != deployment(instance).ecu) {
+      throw std::invalid_argument("cross-ECU server call: " + call);
+    }
+    const Port& server_port =
+        model_.port_of(conn->from_instance, conn->from_port);
+    const PortInterface& iface = model_.interface(server_port.interface);
+    auto oit =
+        std::find_if(iface.operations.begin(), iface.operations.end(),
+                     [&](const Operation& o) { return o.name == op; });
+    if (oit == iface.operations.end()) {
+      throw std::invalid_argument("unknown operation in server call: " + call);
+    }
+    inlined += oit->wcet;
+  }
+  return inlined;
+}
+
+sim::Duration System::writer_period(const std::string& instance,
+                                    const std::string& port,
+                                    const std::string& element) const {
+  const ComponentType& t = model_.type(model_.instance(instance).type);
+  sim::Duration best = sim::kForever;
+  for (const auto& r : t.runnables) {
+    if (r.trigger.kind != RunnableTrigger::Kind::kTiming) continue;
+    for (const auto& acc : r.accesses) {
+      const bool writes = acc.kind == DataAccessKind::kImplicitWrite ||
+                          acc.kind == DataAccessKind::kExplicitWrite;
+      if (writes && acc.port == port && acc.element == element) {
+        best = std::min(best, r.trigger.period);
+      }
+    }
+  }
+  return best;
+}
+
+void System::build() {
+  model_.validate();
+  for (const auto& inst : model_.instances()) {
+    deployment(inst.name);  // every instance must be mapped
+  }
+
+  // ECU set, in deterministic (sorted) order.
+  std::set<std::string> names;
+  for (const auto& [inst, dep] : plan_.instances) names.insert(dep.ecu);
+  ecu_names_.assign(names.begin(), names.end());
+
+  // ---- Derive cross-ECU signals -------------------------------------------
+  std::vector<SignalSpec> signals;
+  for (const auto& conn : model_.connectors()) {
+    const Port& from = model_.port_of(conn.from_instance, conn.from_port);
+    const PortInterface& iface = model_.interface(from.interface);
+    const std::string& sender_ecu = deployment(conn.from_instance).ecu;
+    const std::string& receiver_ecu = deployment(conn.to_instance).ecu;
+    if (iface.kind == PortInterface::Kind::kClientServer) {
+      if (sender_ecu != receiver_ecu) {
+        throw std::invalid_argument(
+            "client-server connector spans ECUs (unsupported): " +
+            conn.from_instance + " -> " + conn.to_instance);
+      }
+      continue;
+    }
+    if (sender_ecu == receiver_ecu) continue;
+    for (const auto& elem : iface.elements) {
+      const std::string sender_key =
+          Rte::key(conn.from_instance, conn.from_port, elem.name);
+      const std::string receiver_key =
+          Rte::key(conn.to_instance, conn.to_port, elem.name);
+      auto it = std::find_if(signals.begin(), signals.end(),
+                             [&](const SignalSpec& s) {
+                               return s.sender_key == sender_key;
+                             });
+      if (it == signals.end()) {
+        SignalSpec spec;
+        spec.name = "sg|" + sender_key;
+        spec.sender_key = sender_key;
+        spec.sender_ecu = sender_ecu;
+        spec.bit_length = elem.bit_length;
+        spec.init = elem.init;
+        spec.queued = elem.queued;
+        spec.sort_period =
+            writer_period(conn.from_instance, conn.from_port, elem.name);
+        signals.push_back(std::move(spec));
+        it = signals.end() - 1;
+      }
+      it->receivers.emplace_back(receiver_ecu, receiver_key);
+    }
+  }
+  signal_count_ = signals.size();
+
+  // ---- Pack signals into I-PDUs ---------------------------------------------
+  // Signals from the same sender ECU with the same producer period share a
+  // frame (period-grouped FFD via the analysis library): every frame pays
+  // header + stuffing overhead once for up to 64 payload bits.
+  struct PduSpec {
+    std::string name;
+    std::string sender_ecu;
+    sim::Duration sort_period = sim::kForever;
+    std::uint32_t frame_id = 0;
+    std::size_t length_bytes = 0;
+    std::vector<std::pair<SignalSpec*, std::size_t>> signals;  // +bit offset
+  };
+  std::vector<PduSpec> pdus;
+  {
+    std::map<std::pair<std::string, sim::Duration>, std::vector<SignalSpec*>>
+        by_group;
+    for (auto& s : signals) {
+      by_group[{s.sender_ecu, s.sort_period}].push_back(&s);
+    }
+    for (auto& [key, group] : by_group) {
+      std::vector<analysis::PackSignal> pack_in;
+      pack_in.reserve(group.size());
+      for (const SignalSpec* s : group) {
+        // pack_signals only needs a positive period for utilization math;
+        // event-produced signals (kForever) use a placeholder.
+        pack_in.push_back({s->name, s->bit_length,
+                           key.second == sim::kForever ? sim::seconds(1)
+                                                       : key.second});
+      }
+      const auto packed = analysis::pack_signals(
+          pack_in, 64, plan_.can.bitrate_bps);
+      for (std::size_t fi = 0; fi < packed.frames.size(); ++fi) {
+        const auto& frame = packed.frames[fi];
+        PduSpec pdu;
+        pdu.name = "pdu|" + key.first + "|" +
+                   std::to_string(key.second == sim::kForever
+                                      ? -1
+                                      : key.second) +
+                   "|" + std::to_string(fi);
+        pdu.sender_ecu = key.first;
+        pdu.sort_period = key.second;
+        pdu.length_bytes = (frame.used_bits + 7) / 8;
+        for (std::size_t si = 0; si < frame.signals.size(); ++si) {
+          auto it = std::find_if(group.begin(), group.end(),
+                                 [&](const SignalSpec* s) {
+                                   return s->name == frame.signals[si];
+                                 });
+          pdu.signals.emplace_back(*it, frame.offsets[si]);
+        }
+        pdus.push_back(std::move(pdu));
+      }
+    }
+  }
+  // Frame id assignment: rate-monotonic priority order on CAN, dedicated
+  // static slots on FlexRay.
+  std::sort(pdus.begin(), pdus.end(), [](const PduSpec& a, const PduSpec& b) {
+    if (a.sort_period != b.sort_period) return a.sort_period < b.sort_period;
+    return a.name < b.name;
+  });
+  for (std::size_t i = 0; i < pdus.size(); ++i) {
+    pdus[i].frame_id =
+        plan_.bus == BusKind::kCan
+            ? plan_.can_base_id + static_cast<std::uint32_t>(i)
+            : static_cast<std::uint32_t>(i + 1);  // FlexRay slot id
+    analyzed_pdus_.push_back(
+        {pdus[i].name, pdus[i].frame_id, pdus[i].length_bytes,
+         pdus[i].sort_period == sim::kForever ? 0 : pdus[i].sort_period});
+  }
+
+  // ---- Bus + per-ECU infrastructure ----------------------------------------
+  if (plan_.bus == BusKind::kCan) {
+    can_ = std::make_unique<can::CanBus>(kernel_, trace_, plan_.can);
+  } else {
+    plan_.flexray.static_slots =
+        std::max(plan_.flexray.static_slots, pdus.size());
+    plan_.flexray.static_payload_bytes = std::max(
+        plan_.flexray.static_payload_bytes, static_cast<std::size_t>(8));
+    flexray_ =
+        std::make_unique<flexray::FlexRayBus>(kernel_, trace_, plan_.flexray);
+  }
+  for (const auto& name : ecu_names_) {
+    EcuCtx c;
+    c.ecu = std::make_unique<os::Ecu>(kernel_, trace_, name);
+    c.com = std::make_unique<bsw::Com>(kernel_, trace_);
+    c.rte = std::make_unique<Rte>(kernel_, trace_, model_, name);
+    c.controller = plan_.bus == BusKind::kCan
+                       ? static_cast<net::Controller*>(&can_->attach())
+                       : static_cast<net::Controller*>(&flexray_->attach());
+    ecus_.emplace(name, std::move(c));
+  }
+
+  // ---- COM configuration ----------------------------------------------------
+  for (const auto& pspec : pdus) {
+    EcuCtx& sender = ctx(pspec.sender_ecu);
+    bsw::IPduConfig pdu_cfg;
+    pdu_cfg.name = pspec.name;
+    pdu_cfg.frame_id = pspec.frame_id;
+    pdu_cfg.length_bytes = pspec.length_bytes;
+    pdu_cfg.mode = bsw::TxMode::kDirect;
+    sender.com->add_tx_ipdu(pdu_cfg, *sender.controller);
+    if (plan_.bus == BusKind::kFlexRay) {
+      flexray_->assign_static_slot(
+          pspec.frame_id,
+          static_cast<flexray::FlexRayController&>(*sender.controller));
+    }
+
+    // Receiving ECUs of this PDU and which of its signals each consumes.
+    std::map<std::string,
+             std::vector<std::tuple<const SignalSpec*, std::size_t,
+                                    std::vector<std::string>>>>
+        rx_by_ecu;
+
+    for (const auto& [sspec, offset] : pspec.signals) {
+      bsw::SignalConfig sig;
+      sig.name = sspec->name;
+      sig.ipdu = pspec.name;
+      sig.bit_offset = offset;
+      sig.bit_length = sspec->bit_length;
+      sig.triggered = true;  // a write transmits the whole packed PDU
+      sender.com->add_signal(sig);
+      sender.rte->add_remote_route(sspec->sender_key, *sender.com,
+                                   sspec->name);
+      std::map<std::string, std::vector<std::string>> keys_by_ecu;
+      for (const auto& [ecu_name, receiver_key] : sspec->receivers) {
+        keys_by_ecu[ecu_name].push_back(receiver_key);
+      }
+      for (auto& [ecu_name, keys] : keys_by_ecu) {
+        rx_by_ecu[ecu_name].emplace_back(sspec, offset, std::move(keys));
+      }
+    }
+
+    for (const auto& [ecu_name, consumed] : rx_by_ecu) {
+      EcuCtx& receiver = ctx(ecu_name);
+      receiver.com->add_rx_ipdu(pdu_cfg, *receiver.controller);
+      for (const auto& [sspec, offset, keys] : consumed) {
+        bsw::SignalConfig sig;
+        sig.name = sspec->name;
+        sig.ipdu = pspec.name;
+        sig.bit_offset = offset;
+        sig.bit_length = sspec->bit_length;
+        receiver.com->add_signal(sig);
+        for (const auto& key : keys) {
+          receiver.rte->add_remote_receiver(key, sspec->queued, sspec->init);
+        }
+        Rte* rte = receiver.rte.get();
+        receiver.com->on_signal(sspec->name,
+                                [rte, keys = keys](std::uint64_t value) {
+                                  for (const auto& key : keys) {
+                                    rte->deliver(key, value);
+                                  }
+                                });
+      }
+    }
+  }
+
+  // ---- Local routes ----------------------------------------------------------
+  for (const auto& conn : model_.connectors()) {
+    const Port& from = model_.port_of(conn.from_instance, conn.from_port);
+    const PortInterface& iface = model_.interface(from.interface);
+    if (iface.kind != PortInterface::Kind::kSenderReceiver) continue;
+    const std::string& sender_ecu = deployment(conn.from_instance).ecu;
+    if (sender_ecu != deployment(conn.to_instance).ecu) continue;
+    EcuCtx& c = ctx(sender_ecu);
+    for (const auto& elem : iface.elements) {
+      c.rte->add_local_route(
+          Rte::key(conn.from_instance, conn.from_port, elem.name),
+          Rte::key(conn.to_instance, conn.to_port, elem.name), elem.queued,
+          elem.init);
+    }
+  }
+
+  build_tasks();
+}
+
+void System::build_tasks() {
+  for (const auto& ecu_name : ecu_names_) {
+    EcuCtx& c = ctx(ecu_name);
+
+    for (const auto& p : plan_.partitions) {
+      if (p.ecu != ecu_name) continue;
+      os::PartitionConfig cfg;
+      cfg.name = p.name;
+      cfg.budget = p.budget;
+      cfg.period = p.period;
+      c.partition_ids[p.name] = c.ecu->add_partition(cfg);
+    }
+
+    // Collect (instance, period) groups and event runnables on this ECU.
+    struct Group {
+      std::string instance;
+      sim::Duration period = 0;
+      std::vector<const Runnable*> runnables;
+    };
+    std::vector<Group> groups;
+    struct EventRunnable {
+      std::string instance;
+      const Runnable* runnable = nullptr;
+    };
+    std::vector<EventRunnable> events;
+
+    for (const auto& inst : model_.instances()) {
+      if (deployment(inst.name).ecu != ecu_name) continue;
+      const ComponentType& t = model_.type(inst.type);
+      for (const auto& r : t.runnables) {
+        switch (r.trigger.kind) {
+          case RunnableTrigger::Kind::kTiming: {
+            auto git = std::find_if(groups.begin(), groups.end(),
+                                    [&](const Group& g) {
+                                      return g.instance == inst.name &&
+                                             g.period == r.trigger.period;
+                                    });
+            if (git == groups.end()) {
+              groups.push_back(Group{inst.name, r.trigger.period, {}});
+              git = groups.end() - 1;
+            }
+            git->runnables.push_back(&r);
+            break;
+          }
+          case RunnableTrigger::Kind::kDataReceived:
+            events.push_back(EventRunnable{inst.name, &r});
+            break;
+          case RunnableTrigger::Kind::kInit:
+            events.push_back(EventRunnable{inst.name, &r});  // handled below
+            break;
+        }
+      }
+    }
+
+    // Rate-monotonic priorities per ECU: shorter period = higher priority.
+    std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+      if (a.period != b.period) return a.period < b.period;
+      return a.instance < b.instance;
+    });
+    if (groups.size() > 140) {
+      throw std::logic_error("too many periodic tasks on ECU " + ecu_name);
+    }
+
+    auto make_segment = [this, &c](const std::string& instance,
+                                   const Runnable* r) {
+      // Inline the WCET of declared synchronous server calls (the RTE
+      // executes them in the caller's context).
+      const sim::Duration inlined = inlined_wcet(instance, *r);
+      os::Segment seg;
+      Rte* rte = c.rte.get();
+      const Runnable* runnable = r;
+      seg.duration = [runnable, inlined]() -> sim::Duration {
+        if (runnable->enabled_if && !runnable->enabled_if()) return 0;
+        return (runnable->execution_time ? runnable->execution_time() : 0) +
+               inlined;
+      };
+      seg.before = [rte, instance, runnable] {
+        rte->capture_implicit(instance, *runnable);
+      };
+      seg.after = [rte, instance, runnable] {
+        if (runnable->enabled_if && !runnable->enabled_if()) return;
+        rte->run_behavior(instance, *runnable);
+      };
+      return seg;
+    };
+
+    // Time-triggered deployment: synthesize a dispatch table over the
+    // runnables' declared WCET bounds; periodic tasks become table-activated.
+    const bool tt = plan_.scheduling == SchedulingPolicy::kTimeTriggered;
+    if (tt && !groups.empty()) {
+      std::vector<analysis::TtJobSpec> specs;
+      for (const auto& g : groups) {
+        analysis::TtJobSpec spec;
+        spec.task = periodic_task_name(g.instance, g.period);
+        spec.period = g.period;
+        for (const Runnable* r : g.runnables) {
+          sim::Duration wcet = r->wcet_bound;
+          if (wcet <= 0 && r->execution_time) wcet = r->execution_time();
+          spec.wcet += wcet + inlined_wcet(g.instance, *r);
+        }
+        specs.push_back(std::move(spec));
+      }
+      const auto schedule = analysis::synthesize_schedule(specs);
+      if (!schedule.has_value()) {
+        throw std::invalid_argument(
+            "time-triggered schedule synthesis failed for ECU " + ecu_name +
+            " (WCET bounds do not fit non-preemptively)");
+      }
+      c.ecu->set_schedule_table(schedule->entries, schedule->cycle);
+    }
+
+    int rank = 0;
+    for (const auto& g : groups) {
+      const InstanceDeployment& dep = deployment(g.instance);
+      os::TaskConfig cfg;
+      cfg.name = periodic_task_name(g.instance, g.period);
+      cfg.priority = 150 - rank;
+      ++rank;
+      cfg.period = tt ? 0 : g.period;  // TT: activated by the table
+      if (tt) cfg.relative_deadline = g.period;  // keep miss monitoring
+      cfg.budget = dep.budget;
+      cfg.overrun_action = dep.overrun_action;
+      if (!dep.partition.empty()) {
+        cfg.partition = c.partition_ids.at(dep.partition);
+      }
+      {
+        sim::Duration wcet = 0;
+        for (const Runnable* r : g.runnables) {
+          sim::Duration w = r->wcet_bound;
+          if (w <= 0 && r->execution_time) w = r->execution_time();
+          wcet += w + inlined_wcet(g.instance, *r);
+        }
+        analyzed_tasks_.push_back(
+            {cfg.name, ecu_name, g.period, wcet, cfg.priority});
+      }
+      os::Task& task = c.ecu->add_task(cfg);
+      // AUTOSAR implicit semantics are task-scoped: ALL implicit inputs of
+      // the task's runnables are snapshotted once when the task starts, so
+      // multi-element / multi-runnable reads within one job are consistent.
+      bool first_segment = true;
+      for (const Runnable* r : g.runnables) {
+        os::Segment seg = make_segment(g.instance, r);
+        if (first_segment) {
+          Rte* rte = c.rte.get();
+          const std::string instance = g.instance;
+          const std::vector<const Runnable*> group = g.runnables;
+          seg.before = [rte, instance, group] {
+            for (const Runnable* rr : group) {
+              rte->capture_implicit(instance, *rr);
+            }
+          };
+          first_segment = false;
+        } else {
+          seg.before = {};
+        }
+        task.add_segment(std::move(seg));
+      }
+    }
+
+    for (const auto& e : events) {
+      if (e.runnable->trigger.kind == RunnableTrigger::Kind::kInit) {
+        // Init runnables execute once at t=start, outside any task.
+        Rte* rte = c.rte.get();
+        const std::string instance = e.instance;
+        const Runnable* r = e.runnable;
+        kernel_.schedule_at(
+            kernel_.now(),
+            [rte, instance, r] {
+              rte->capture_implicit(instance, *r);
+              rte->run_behavior(instance, *r);
+            },
+            sim::EventOrder::kSoftware);
+        continue;
+      }
+      const InstanceDeployment& dep = deployment(e.instance);
+      os::TaskConfig cfg;
+      cfg.name = event_task_name(e.instance, e.runnable->name);
+      cfg.priority = plan_.data_task_priority;
+      cfg.budget = dep.budget;
+      cfg.overrun_action = dep.overrun_action;
+      cfg.max_pending_activations = 8;
+      if (!dep.partition.empty()) {
+        cfg.partition = c.partition_ids.at(dep.partition);
+      }
+      {
+        sim::Duration w = e.runnable->wcet_bound;
+        if (w <= 0 && e.runnable->execution_time) w = e.runnable->execution_time();
+        analyzed_tasks_.push_back(
+            {cfg.name, ecu_name, 0, w + inlined_wcet(e.instance, *e.runnable),
+             cfg.priority});
+      }
+      os::Task& task = c.ecu->add_task(cfg);
+      task.add_segment(make_segment(e.instance, e.runnable));
+      os::Ecu* ecu = c.ecu.get();
+      os::Task* task_ptr = &task;
+      c.rte->on_update(
+          Rte::key(e.instance, e.runnable->trigger.port,
+                   e.runnable->trigger.element),
+          [ecu, task_ptr] { ecu->activate(*task_ptr); });
+    }
+  }
+}
+
+void System::start() {
+  if (started_) throw std::logic_error("System::start called twice");
+  started_ = true;
+  for (auto& [name, c] : ecus_) {
+    c.ecu->start();
+    c.com->start();
+  }
+  if (flexray_) flexray_->start();
+}
+
+void System::run_for(sim::Duration horizon) {
+  if (!started_) start();
+  kernel_.run_until(kernel_.now() + horizon);
+}
+
+SystemAnalysis System::analyze() const {
+  SystemAnalysis out;
+  // Per-ECU task analysis over the generated configuration.
+  for (const auto& ecu_name : ecu_names_) {
+    std::vector<analysis::AnalysisTask> local;
+    for (const auto& t : analyzed_tasks_) {
+      if (t.ecu != ecu_name) continue;
+      if (t.period <= 0) {
+        out.complete = false;  // event task: needs chain context (holistic)
+        continue;
+      }
+      local.push_back({.name = t.name, .wcet = t.wcet, .period = t.period,
+                       .priority = t.priority});
+    }
+    const auto result = analysis::analyze(local);
+    if (!result.schedulable) out.schedulable = false;
+    for (const auto& [name, r] : result.response) out.task_response[name] = r;
+  }
+  // Bus analysis of the generated PDUs.
+  if (plan_.bus == BusKind::kCan) {
+    std::vector<analysis::CanMessage> msgs;
+    for (const auto& p : analyzed_pdus_) {
+      if (p.period <= 0) {
+        out.complete = false;
+        continue;
+      }
+      msgs.push_back({.name = p.name, .id = p.frame_id, .bytes = p.bytes,
+                      .period = p.period});
+    }
+    const auto bus = analysis::analyze_can(msgs, plan_.can.bitrate_bps);
+    if (!bus.schedulable) out.schedulable = false;
+    out.bus_utilization = bus.utilization;
+    for (const auto& [name, r] : bus.response) out.pdu_response[name] = r;
+  } else {
+    // FlexRay static slots: delivery is periodic by construction; the bound
+    // is one cycle + slot regardless of load.
+    const auto slot = flexray::FlexRayBus::slot_length(plan_.flexray);
+    const auto cycle = flexray::FlexRayBus::cycle_length(plan_.flexray);
+    for (const auto& p : analyzed_pdus_) {
+      out.pdu_response[p.name] = cycle + slot;
+    }
+    out.bus_utilization =
+        cycle > 0 ? static_cast<double>(
+                        static_cast<sim::Duration>(analyzed_pdus_.size()) *
+                        slot) /
+                        static_cast<double>(cycle)
+                  : 0.0;
+  }
+  return out;
+}
+
+os::Ecu& System::ecu(const std::string& name) { return *ctx(name).ecu; }
+Rte& System::rte(const std::string& ecu_name) { return *ctx(ecu_name).rte; }
+bsw::Com& System::com(const std::string& ecu_name) {
+  return *ctx(ecu_name).com;
+}
+
+os::Task* System::task_of(const std::string& instance, sim::Duration period) {
+  const std::string& ecu_name = deployment(instance).ecu;
+  return ctx(ecu_name).ecu->find_task(periodic_task_name(instance, period));
+}
+
+}  // namespace orte::vfb

@@ -1,0 +1,424 @@
+// Unit tests: basic software — COM packing/transmission, mode management,
+// DEM, NvM, watchdog alive supervision.
+#include <gtest/gtest.h>
+
+#include "bsw/com.hpp"
+#include "bsw/dem.hpp"
+#include "bsw/mode.hpp"
+#include "bsw/nvm.hpp"
+#include "bsw/watchdog.hpp"
+#include "can/can_bus.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace orte::bsw;
+using orte::sim::Kernel;
+using orte::sim::Trace;
+using orte::sim::microseconds;
+using orte::sim::milliseconds;
+
+struct Fixture {
+  Kernel kernel;
+  Trace trace;
+};
+
+// --- Signal packing ----------------------------------------------------------
+
+TEST(ComPacking, RoundTripAlignedAndUnaligned) {
+  std::vector<std::uint8_t> payload(8, 0);
+  pack_signal(payload, 0, 8, 0xAB);
+  pack_signal(payload, 8, 16, 0x1234);
+  pack_signal(payload, 27, 5, 0x15);
+  pack_signal(payload, 40, 24, 0xABCDEF);
+  EXPECT_EQ(unpack_signal(payload, 0, 8), 0xABu);
+  EXPECT_EQ(unpack_signal(payload, 8, 16), 0x1234u);
+  EXPECT_EQ(unpack_signal(payload, 27, 5), 0x15u);
+  EXPECT_EQ(unpack_signal(payload, 40, 24), 0xABCDEFu);
+}
+
+TEST(ComPacking, OverwriteClearsOldBits) {
+  std::vector<std::uint8_t> payload(2, 0);
+  pack_signal(payload, 3, 6, 0x3F);
+  pack_signal(payload, 3, 6, 0x00);
+  EXPECT_EQ(unpack_signal(payload, 3, 6), 0u);
+  EXPECT_EQ(payload[0], 0u);
+  EXPECT_EQ(payload[1], 0u);
+}
+
+TEST(ComPacking, SixtyFourBitSignal) {
+  std::vector<std::uint8_t> payload(8, 0);
+  const std::uint64_t v = 0xDEADBEEFCAFEBABEULL;
+  pack_signal(payload, 0, 64, v);
+  EXPECT_EQ(unpack_signal(payload, 0, 64), v);
+}
+
+TEST(ComPacking, OutOfRangeThrows) {
+  std::vector<std::uint8_t> payload(2, 0);
+  EXPECT_THROW(pack_signal(payload, 12, 8, 1), std::invalid_argument);
+  EXPECT_THROW(pack_signal(payload, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(unpack_signal(payload, 0, 65), std::invalid_argument);
+}
+
+// --- COM over CAN ------------------------------------------------------------
+
+struct ComFixture : Fixture {
+  orte::can::CanBus bus{kernel, trace, {}};
+  orte::can::CanController& tx_ctrl{bus.attach()};
+  orte::can::CanController& rx_ctrl{bus.attach()};
+  Com tx{kernel, trace};
+  Com rx{kernel, trace};
+};
+
+TEST(Com, DirectTransmissionOnTriggeredSignal) {
+  ComFixture f;
+  f.tx.add_tx_ipdu({.name = "pdu", .frame_id = 0x10, .length_bytes = 8,
+                    .mode = TxMode::kDirect},
+                   f.tx_ctrl);
+  f.tx.add_signal({.name = "speed", .ipdu = "pdu", .bit_offset = 0,
+                   .bit_length = 16, .triggered = true});
+  f.rx.add_rx_ipdu({.name = "pdu", .frame_id = 0x10, .length_bytes = 8},
+                   f.rx_ctrl);
+  f.rx.add_signal({.name = "speed", .ipdu = "pdu", .bit_offset = 0,
+                   .bit_length = 16});
+  std::vector<std::uint64_t> seen;
+  f.rx.on_signal("speed", [&](std::uint64_t v) { seen.push_back(v); });
+  f.tx.start();
+  f.rx.start();
+  f.kernel.schedule_at(microseconds(10), [&] { f.tx.send_signal("speed", 88); });
+  f.kernel.run_until(milliseconds(5));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 88u);
+  EXPECT_EQ(f.rx.read_signal("speed"), std::uint64_t{88});
+  EXPECT_TRUE(f.rx.signal_age("speed").has_value());
+}
+
+TEST(Com, PeriodicTransmissionWithoutWrites) {
+  ComFixture f;
+  f.tx.add_tx_ipdu({.name = "pdu", .frame_id = 0x11, .length_bytes = 4,
+                    .mode = TxMode::kPeriodic, .period = milliseconds(10)},
+                   f.tx_ctrl);
+  f.rx.add_rx_ipdu({.name = "pdu", .frame_id = 0x11, .length_bytes = 4},
+                   f.rx_ctrl);
+  f.tx.start();
+  f.rx.start();
+  f.kernel.run_until(milliseconds(95));
+  EXPECT_EQ(f.tx.pdus_sent(), 10u);  // t = 0, 10, ..., 90
+  EXPECT_EQ(f.rx.pdus_received(), 10u);
+}
+
+TEST(Com, NonTriggeredSignalWaitsForPeriodic) {
+  ComFixture f;
+  f.tx.add_tx_ipdu({.name = "pdu", .frame_id = 0x12, .length_bytes = 4,
+                    .mode = TxMode::kPeriodic, .period = milliseconds(10),
+                    .offset = milliseconds(5)},
+                   f.tx_ctrl);
+  f.tx.add_signal({.name = "s", .ipdu = "pdu", .bit_offset = 0,
+                   .bit_length = 8, .triggered = false});
+  f.rx.add_rx_ipdu({.name = "pdu", .frame_id = 0x12, .length_bytes = 4},
+                   f.rx_ctrl);
+  f.rx.add_signal(
+      {.name = "s", .ipdu = "pdu", .bit_offset = 0, .bit_length = 8});
+  f.tx.start();
+  f.rx.start();
+  f.kernel.schedule_at(microseconds(100), [&] { f.tx.send_signal("s", 7); });
+  f.kernel.run_until(milliseconds(4));
+  EXPECT_EQ(f.rx.read_signal("s"), std::nullopt);  // not yet transmitted
+  f.kernel.run_until(milliseconds(6));
+  EXPECT_EQ(f.rx.read_signal("s"), std::uint64_t{7});
+}
+
+TEST(Com, RxTimeoutFiresWithoutTraffic) {
+  ComFixture f;
+  f.rx.add_rx_ipdu({.name = "pdu", .frame_id = 0x13, .length_bytes = 4,
+                    .rx_timeout = milliseconds(20)},
+                   f.rx_ctrl);
+  std::vector<std::string> timeouts;
+  f.rx.on_rx_timeout([&](const std::string& name) { timeouts.push_back(name); });
+  f.rx.start();
+  f.kernel.run_until(milliseconds(50));
+  ASSERT_EQ(timeouts.size(), 1u);
+  EXPECT_EQ(timeouts[0], "pdu");
+  EXPECT_EQ(f.rx.rx_timeouts(), 1u);
+}
+
+TEST(Com, RxTimeoutClearedByReception) {
+  ComFixture f;
+  f.tx.add_tx_ipdu({.name = "pdu", .frame_id = 0x14, .length_bytes = 4,
+                    .mode = TxMode::kPeriodic, .period = milliseconds(10)},
+                   f.tx_ctrl);
+  f.rx.add_rx_ipdu({.name = "pdu", .frame_id = 0x14, .length_bytes = 4,
+                    .rx_timeout = milliseconds(20)},
+                   f.rx_ctrl);
+  f.tx.start();
+  f.rx.start();
+  f.kernel.run_until(milliseconds(100));
+  EXPECT_EQ(f.rx.rx_timeouts(), 0u);
+}
+
+TEST(Com, MixedModeSendsBothPeriodicAndTriggered) {
+  ComFixture f;
+  f.tx.add_tx_ipdu({.name = "pdu", .frame_id = 0x15, .length_bytes = 4,
+                    .mode = TxMode::kMixed, .period = milliseconds(20)},
+                   f.tx_ctrl);
+  f.tx.add_signal({.name = "s", .ipdu = "pdu", .bit_offset = 0,
+                   .bit_length = 8, .triggered = true});
+  f.rx.add_rx_ipdu({.name = "pdu", .frame_id = 0x15, .length_bytes = 4},
+                   f.rx_ctrl);
+  f.tx.start();
+  f.rx.start();
+  // Periodic carries the value anyway; a triggered write adds an immediate
+  // extra transmission.
+  f.kernel.schedule_at(milliseconds(5), [&] { f.tx.send_signal("s", 1); });
+  f.kernel.run_until(milliseconds(50));
+  // Periodic at 0, 20, 40 (3) + direct at 5 (1) = 4.
+  EXPECT_EQ(f.tx.pdus_sent(), 4u);
+  EXPECT_EQ(f.rx.pdus_received(), 4u);
+}
+
+TEST(Com, ConfigErrorsThrow) {
+  ComFixture f;
+  EXPECT_THROW(
+      f.tx.add_tx_ipdu({.name = "p", .mode = TxMode::kPeriodic, .period = 0},
+                       f.tx_ctrl),
+      std::invalid_argument);
+  EXPECT_THROW(f.tx.add_signal({.name = "s", .ipdu = "nope"}),
+               std::invalid_argument);
+  EXPECT_THROW(f.tx.send_signal("ghost", 1), std::invalid_argument);
+}
+
+// --- Mode management ----------------------------------------------------------
+
+TEST(ModeMachine, DeclaredTransitionsOnly) {
+  Fixture f;
+  ModeMachine m(f.kernel, f.trace, "EcuMode", "STARTUP");
+  m.add_mode("RUN");
+  m.add_mode("LIMP_HOME");
+  m.add_transition("STARTUP", "RUN");
+  m.add_transition("RUN", "LIMP_HOME");
+  EXPECT_TRUE(m.in("STARTUP"));
+  EXPECT_FALSE(m.request("LIMP_HOME"));  // not declared from STARTUP
+  EXPECT_TRUE(m.in("STARTUP"));
+  EXPECT_TRUE(m.request("RUN"));
+  EXPECT_TRUE(m.request("LIMP_HOME"));
+  EXPECT_EQ(m.transitions(), 2u);
+  EXPECT_EQ(m.rejected(), 1u);
+}
+
+TEST(ModeMachine, ListenersNotified) {
+  Fixture f;
+  ModeMachine m(f.kernel, f.trace, "M", "A");
+  m.add_mode("B");
+  m.add_transition("A", "B");
+  std::string got;
+  m.on_transition([&](const std::string& from, const std::string& to) {
+    got = from + ">" + to;
+  });
+  m.request("B");
+  EXPECT_EQ(got, "A>B");
+}
+
+TEST(ModeMachine, SelfRequestIsNoop) {
+  Fixture f;
+  ModeMachine m(f.kernel, f.trace, "M", "A");
+  EXPECT_TRUE(m.request("A"));
+  EXPECT_EQ(m.transitions(), 0u);
+}
+
+TEST(ModeMachine, UndeclaredModeInTransitionThrows) {
+  Fixture f;
+  ModeMachine m(f.kernel, f.trace, "M", "A");
+  EXPECT_THROW(m.add_transition("A", "GHOST"), std::invalid_argument);
+}
+
+// --- DEM ------------------------------------------------------------------------
+
+TEST(Dem, DebounceBeforeLatch) {
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "sensor_open", .debounce_threshold = 3});
+  dem.report("sensor_open", EventStatus::kFailed);
+  dem.report("sensor_open", EventStatus::kFailed);
+  EXPECT_FALSE(dem.is_failed("sensor_open"));
+  dem.report("sensor_open", EventStatus::kFailed);
+  EXPECT_TRUE(dem.is_failed("sensor_open"));
+  ASSERT_TRUE(dem.dtc("sensor_open").has_value());
+  EXPECT_EQ(dem.dtc("sensor_open")->occurrence_count, 1u);
+}
+
+TEST(Dem, PassedReportsHeal) {
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "e", .debounce_threshold = 2});
+  dem.report("e", EventStatus::kFailed);
+  dem.report("e", EventStatus::kFailed);
+  EXPECT_TRUE(dem.is_failed("e"));
+  dem.report("e", EventStatus::kPassed);
+  dem.report("e", EventStatus::kPassed);
+  EXPECT_FALSE(dem.is_failed("e"));
+  // Healed but the DTC is still stored (unconfirmed).
+  ASSERT_TRUE(dem.dtc("e").has_value());
+  EXPECT_FALSE(dem.dtc("e")->confirmed);
+}
+
+TEST(Dem, AgingClearsHealedDtc) {
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "e", .debounce_threshold = 1, .aging_cycles = 2});
+  dem.report("e", EventStatus::kFailed);
+  dem.report("e", EventStatus::kPassed);
+  dem.operation_cycle_end();
+  EXPECT_TRUE(dem.dtc("e").has_value());
+  dem.operation_cycle_end();
+  EXPECT_FALSE(dem.dtc("e").has_value());
+}
+
+TEST(Dem, ReoccurrenceIncrementsCount) {
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "e", .debounce_threshold = 1});
+  dem.report("e", EventStatus::kFailed);
+  dem.report("e", EventStatus::kPassed);
+  dem.report("e", EventStatus::kFailed);
+  EXPECT_EQ(dem.dtc("e")->occurrence_count, 2u);
+}
+
+TEST(Dem, CallbackOnStore) {
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "e", .debounce_threshold = 1});
+  int stored = 0;
+  dem.on_dtc_stored([&](const Dtc&) { ++stored; });
+  dem.report("e", EventStatus::kFailed);
+  EXPECT_EQ(stored, 1);
+}
+
+// --- NvM -------------------------------------------------------------------------
+
+TEST(Nvm, WriteReadRoundTrip) {
+  Fixture f;
+  NvM nvm(f.trace);
+  nvm.add_block({.name = "cal", .length = 4});
+  nvm.write("cal", {1, 2, 3, 4});
+  EXPECT_EQ(nvm.read("cal"), (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Nvm, CorruptionDetectedOnSingleCopy) {
+  Fixture f;
+  NvM nvm(f.trace);
+  nvm.add_block({.name = "cal", .length = 4});
+  nvm.write("cal", {1, 2, 3, 4});
+  nvm.corrupt("cal", 2);
+  EXPECT_EQ(nvm.read("cal"), std::nullopt);
+  EXPECT_EQ(nvm.fatal_failures(), 1u);
+}
+
+TEST(Nvm, RedundantCopyRecovers) {
+  Fixture f;
+  NvM nvm(f.trace);
+  nvm.add_block({.name = "cal", .length = 4, .redundant = true});
+  nvm.write("cal", {9, 8, 7, 6});
+  nvm.corrupt("cal", 1, 0);
+  EXPECT_EQ(nvm.read("cal"), (std::vector<std::uint8_t>{9, 8, 7, 6}));
+  EXPECT_EQ(nvm.recoveries(), 1u);
+  // The repaired copy is valid again.
+  EXPECT_EQ(nvm.read("cal"), (std::vector<std::uint8_t>{9, 8, 7, 6}));
+  EXPECT_EQ(nvm.recoveries(), 1u);
+}
+
+TEST(Nvm, BothCopiesCorruptIsFatal) {
+  Fixture f;
+  NvM nvm(f.trace);
+  nvm.add_block({.name = "cal", .length = 4, .redundant = true});
+  nvm.write("cal", {1, 1, 1, 1});
+  nvm.corrupt("cal", 0, 0);
+  nvm.corrupt("cal", 0, 1);
+  std::string failed;
+  bool was_fatal = false;
+  nvm.on_failure([&](const std::string& b, bool fatal) {
+    failed = b;
+    was_fatal = fatal;
+  });
+  EXPECT_EQ(nvm.read("cal"), std::nullopt);
+  EXPECT_EQ(failed, "cal");
+  EXPECT_TRUE(was_fatal);
+}
+
+TEST(Nvm, UnwrittenBlockReadsAsFatal) {
+  Fixture f;
+  NvM nvm(f.trace);
+  nvm.add_block({.name = "cal", .length = 4});
+  EXPECT_EQ(nvm.read("cal"), std::nullopt);
+}
+
+TEST(Nvm, Crc16KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  std::vector<std::uint8_t> data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(data), 0x29B1);
+}
+
+TEST(Nvm, SizeMismatchThrows) {
+  Fixture f;
+  NvM nvm(f.trace);
+  nvm.add_block({.name = "cal", .length = 4});
+  EXPECT_THROW(nvm.write("cal", {1, 2}), std::invalid_argument);
+  EXPECT_THROW(nvm.corrupt("cal", 9), std::invalid_argument);
+}
+
+// --- Watchdog ----------------------------------------------------------------------
+
+TEST(Watchdog, HealthyEntityPasses) {
+  Fixture f;
+  WatchdogManager wdg(f.kernel, f.trace, milliseconds(10));
+  wdg.supervise({.entity = "ctrl", .min_indications = 1});
+  f.kernel.schedule_periodic(0, milliseconds(5), [&] { wdg.checkpoint("ctrl"); });
+  wdg.start();
+  f.kernel.run_until(milliseconds(100));
+  EXPECT_EQ(wdg.violations(), 0u);
+  EXPECT_FALSE(wdg.is_expired("ctrl"));
+}
+
+TEST(Watchdog, SilentEntityTrips) {
+  Fixture f;
+  WatchdogManager wdg(f.kernel, f.trace, milliseconds(10));
+  wdg.supervise({.entity = "ctrl", .min_indications = 1});
+  std::string tripped;
+  wdg.on_violation([&](const std::string& e, std::uint32_t) { tripped = e; });
+  wdg.start();
+  f.kernel.run_until(milliseconds(25));
+  EXPECT_EQ(wdg.violations(), 1u);
+  EXPECT_EQ(tripped, "ctrl");
+  EXPECT_TRUE(wdg.is_expired("ctrl"));
+}
+
+TEST(Watchdog, ToleranceDelaysTrip) {
+  Fixture f;
+  WatchdogManager wdg(f.kernel, f.trace, milliseconds(10));
+  wdg.supervise({.entity = "ctrl", .min_indications = 1,
+                 .failed_cycles_tolerance = 2});
+  wdg.start();
+  f.kernel.run_until(milliseconds(25));
+  EXPECT_EQ(wdg.violations(), 0u);  // 2 failed cycles tolerated
+  f.kernel.run_until(milliseconds(35));
+  EXPECT_EQ(wdg.violations(), 1u);  // third failed cycle trips
+}
+
+TEST(Watchdog, TooManyIndicationsAlsoFail) {
+  Fixture f;
+  WatchdogManager wdg(f.kernel, f.trace, milliseconds(10));
+  wdg.supervise({.entity = "ctrl", .min_indications = 1,
+                 .max_indications = 3});
+  f.kernel.schedule_periodic(0, milliseconds(1), [&] { wdg.checkpoint("ctrl"); });
+  wdg.start();
+  f.kernel.run_until(milliseconds(25));
+  EXPECT_GE(wdg.violations(), 1u);  // ~10 indications per cycle > max 3
+}
+
+TEST(Watchdog, UnknownEntityCheckpointThrows) {
+  Fixture f;
+  WatchdogManager wdg(f.kernel, f.trace, milliseconds(10));
+  EXPECT_THROW(wdg.checkpoint("ghost"), std::invalid_argument);
+}
+
+}  // namespace

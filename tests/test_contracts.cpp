@@ -1,0 +1,372 @@
+// Unit tests: rich-component contracts — satisfaction, dominance, network
+// compatibility, vertical assumptions, timed-automata contracts.
+#include <gtest/gtest.h>
+
+#include "contracts/contract.hpp"
+#include "contracts/network.hpp"
+#include "contracts/timed_automaton.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace orte::contracts;
+using orte::sim::microseconds;
+using orte::sim::milliseconds;
+
+FlowSpec flow(std::string name, Interval range, TimingSpec timing = {},
+              double confidence = 1.0) {
+  FlowSpec f;
+  f.flow = std::move(name);
+  f.range = range;
+  f.timing = timing;
+  f.confidence = confidence;
+  return f;
+}
+
+// --- satisfies() ----------------------------------------------------------------
+
+TEST(Satisfies, RangeContainment) {
+  const auto g = flow("x", {0, 100});
+  EXPECT_TRUE(satisfies(g, flow("x", {0, 100})).ok);
+  EXPECT_TRUE(satisfies(g, flow("x", {-10, 200})).ok);
+  EXPECT_FALSE(satisfies(g, flow("x", {0, 50})).ok);
+  EXPECT_FALSE(satisfies(g, flow("x", {10, 200})).ok);
+}
+
+TEST(Satisfies, TimingBoundsMustBeMetOrTighter) {
+  const TimingSpec offered{milliseconds(10), microseconds(100),
+                           milliseconds(5)};
+  const auto g = flow("x", {0, 1}, offered);
+  EXPECT_TRUE(satisfies(g, flow("x", {0, 1},
+                                {milliseconds(10), microseconds(100),
+                                 milliseconds(5)}))
+                  .ok);
+  EXPECT_TRUE(satisfies(g, flow("x", {0, 1},
+                                {milliseconds(20), microseconds(500),
+                                 milliseconds(9)}))
+                  .ok);
+  // Faster period demanded than offered:
+  EXPECT_FALSE(
+      satisfies(g, flow("x", {0, 1}, {milliseconds(5), 0, 0})).ok);
+  // Tighter jitter demanded:
+  EXPECT_FALSE(
+      satisfies(g, flow("x", {0, 1}, {0, microseconds(50), 0})).ok);
+  // Tighter latency demanded:
+  EXPECT_FALSE(
+      satisfies(g, flow("x", {0, 1}, {0, 0, milliseconds(1)})).ok);
+}
+
+TEST(Satisfies, UnspecifiedOfferCannotDischargeDemand) {
+  const auto g = flow("x", {0, 1});  // no timing guarantees at all
+  EXPECT_TRUE(satisfies(g, flow("x", {0, 1})).ok);  // nothing demanded
+  EXPECT_FALSE(
+      satisfies(g, flow("x", {0, 1}, {milliseconds(10), 0, 0})).ok);
+}
+
+TEST(Satisfies, ConfidencePropagatesAsMinimum) {
+  const auto g = flow("x", {0, 1}, {}, 0.9);
+  const auto a = flow("x", {0, 1}, {}, 0.7);
+  EXPECT_DOUBLE_EQ(satisfies(g, a).confidence, 0.7);
+}
+
+// --- dominance -------------------------------------------------------------------
+
+Contract controller_contract() {
+  Contract c;
+  c.name = "controller";
+  c.assumptions.push_back(
+      flow("speed", {0, 300}, {milliseconds(10), 0, milliseconds(20)}));
+  c.guarantees.push_back(
+      flow("torque", {0, 100}, {milliseconds(10), 0, milliseconds(5)}));
+  return c;
+}
+
+TEST(Dominance, Reflexive) {
+  const auto c = controller_contract();
+  EXPECT_TRUE(dominates(c, c));
+}
+
+TEST(Dominance, StrongerGuaranteeDominates) {
+  const auto base = controller_contract();
+  auto better = base;
+  better.guarantees[0].timing.latency = milliseconds(2);  // tighter
+  better.guarantees[0].range = {0, 80};                   // narrower output
+  EXPECT_TRUE(dominates(better, base));
+  EXPECT_FALSE(dominates(base, better));
+}
+
+TEST(Dominance, WeakerAssumptionDominates) {
+  const auto base = controller_contract();
+  auto better = base;
+  better.assumptions[0].range = {-100, 400};             // accepts more
+  better.assumptions[0].timing.latency = milliseconds(50);  // tolerates older
+  EXPECT_TRUE(dominates(better, base));
+  EXPECT_FALSE(dominates(base, better));
+}
+
+TEST(Dominance, StrongerAssumptionDoesNotDominate) {
+  const auto base = controller_contract();
+  auto worse = base;
+  worse.assumptions[0].range = {0, 100};  // demands narrower input
+  EXPECT_FALSE(dominates(worse, base));
+}
+
+TEST(Dominance, MissingGuaranteeDoesNotDominate) {
+  const auto base = controller_contract();
+  Contract empty;
+  empty.name = "empty";
+  // empty guarantees nothing -> cannot refine base;
+  // base assumes something empty does not -> cannot refine empty either.
+  EXPECT_FALSE(dominates(empty, base));
+  EXPECT_FALSE(dominates(base, empty));
+}
+
+TEST(Dominance, Transitive) {
+  const auto a = controller_contract();
+  auto b = a;
+  b.guarantees[0].timing.latency = milliseconds(4);
+  auto c = b;
+  c.guarantees[0].timing.latency = milliseconds(3);
+  EXPECT_TRUE(dominates(b, a));
+  EXPECT_TRUE(dominates(c, b));
+  EXPECT_TRUE(dominates(c, a));
+}
+
+// --- ContractNetwork ---------------------------------------------------------------
+
+ContractNetwork sensor_controller_actuator() {
+  ContractNetwork net;
+  Contract sensor;
+  sensor.name = "sensor";
+  sensor.guarantees.push_back(
+      flow("speed", {0, 250}, {milliseconds(10), microseconds(500),
+                               milliseconds(2)}));
+  sensor.vertical = {.cpu_utilization = 0.1, .memory_bytes = 4096,
+                     .confidence = 0.95};
+  net.add_component(sensor);
+
+  Contract ctrl;
+  ctrl.name = "controller";
+  ctrl.assumptions.push_back(
+      flow("speed", {0, 300}, {milliseconds(10), milliseconds(1),
+                               milliseconds(20)}));
+  ctrl.guarantees.push_back(
+      flow("torque", {0, 100}, {milliseconds(10), 0, milliseconds(5)}));
+  ctrl.vertical = {.cpu_utilization = 0.4, .memory_bytes = 65536,
+                   .confidence = 0.8};
+  net.add_component(ctrl);
+
+  Contract act;
+  act.name = "actuator";
+  act.assumptions.push_back(
+      flow("torque", {0, 150}, {milliseconds(10), 0, milliseconds(8)}));
+  act.vertical = {.cpu_utilization = 0.2, .memory_bytes = 8192,
+                  .confidence = 0.9};
+  net.add_component(act);
+
+  net.connect("sensor", "speed", "controller", "speed");
+  net.connect("controller", "torque", "actuator", "torque");
+  return net;
+}
+
+TEST(Network, CompatibleSystemPasses) {
+  const auto net = sensor_controller_actuator();
+  const auto r = net.check_compatibility();
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+  EXPECT_DOUBLE_EQ(r.confidence, 1.0);  // flow confidences default to 1
+}
+
+TEST(Network, IncompatibleRangeDetected) {
+  auto net = sensor_controller_actuator();
+  Contract bad;
+  bad.name = "bad_sensor";
+  bad.guarantees.push_back(flow("speed", {0, 500}));  // exceeds assumption
+  net.add_component(bad);
+  net.connect("bad_sensor", "speed", "controller", "speed");
+  const auto r = net.check_compatibility();
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+}
+
+TEST(Network, EndToEndLatencyComposition) {
+  const auto net = sensor_controller_actuator();
+  const auto lat = net.end_to_end_latency({"sensor", "controller", "actuator"});
+  // sensor->controller latency 2ms + controller->actuator latency 5ms.
+  EXPECT_EQ(lat, milliseconds(7));
+}
+
+TEST(Network, LatencyUnboundedWhenUnspecified) {
+  ContractNetwork net;
+  Contract a;
+  a.name = "a";
+  a.guarantees.push_back(flow("x", {0, 1}));  // no latency bound
+  net.add_component(a);
+  Contract b;
+  b.name = "b";
+  b.assumptions.push_back(flow("x", {0, 1}));
+  net.add_component(b);
+  net.connect("a", "x", "b", "x");
+  EXPECT_EQ(net.end_to_end_latency({"a", "b"}), -1);
+}
+
+TEST(Network, VerticalCheckPassesWithinCapacity) {
+  const auto net = sensor_controller_actuator();
+  const auto r = net.check_vertical(
+      {{"sensor", "ecu0"}, {"controller", "ecu0"}, {"actuator", "ecu1"}},
+      {{.name = "ecu0", .cpu = 0.8}, {.name = "ecu1", .cpu = 0.5}});
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+  // Aggregated confidence = min over vertical assumptions.
+  EXPECT_DOUBLE_EQ(r.confidence, 0.8);
+}
+
+TEST(Network, VerticalOverloadDetected) {
+  const auto net = sensor_controller_actuator();
+  const auto r = net.check_vertical(
+      {{"sensor", "ecu0"}, {"controller", "ecu0"}, {"actuator", "ecu0"}},
+      {{.name = "ecu0", .cpu = 0.5}});  // 0.7 demanded
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Network, UnmappedComponentDetected) {
+  const auto net = sensor_controller_actuator();
+  const auto r = net.check_vertical({{"sensor", "ecu0"}},
+                                    {{.name = "ecu0", .cpu = 1.0}});
+  EXPECT_FALSE(r.ok);
+  EXPECT_GE(r.violations.size(), 2u);  // controller and actuator unmapped
+}
+
+TEST(Network, ComposeDerivesSystemContract) {
+  const auto net = sensor_controller_actuator();
+  const auto sys = net.compose("brake_system");
+  // External inputs: none (sensor has no assumptions) — controller's and
+  // actuator's inputs are fed internally.
+  EXPECT_TRUE(sys.assumptions.empty());
+  // External outputs: none of the guarantees survive unconsumed except...
+  // sensor.speed and controller.torque are consumed internally, so the
+  // composite exposes no outputs here; vertical sums everything.
+  EXPECT_TRUE(sys.guarantees.empty());
+  EXPECT_NEAR(sys.vertical.cpu_utilization, 0.7, 1e-9);
+  EXPECT_EQ(sys.vertical.memory_bytes, 4096u + 65536u + 8192u);
+  EXPECT_DOUBLE_EQ(sys.vertical.confidence, 0.8);
+}
+
+TEST(Network, ComposeExposesOpenFlowsWithChainLatency) {
+  ContractNetwork net;
+  Contract a;
+  a.name = "a";
+  a.assumptions.push_back(flow("cmd", {0, 10}));
+  a.guarantees.push_back(flow("mid", {0, 10}, {0, 0, milliseconds(2)}));
+  net.add_component(a);
+  Contract b;
+  b.name = "b";
+  b.assumptions.push_back(flow("mid", {0, 100}));
+  b.guarantees.push_back(flow("out", {0, 1}, {0, 0, milliseconds(3)}));
+  net.add_component(b);
+  net.connect("a", "mid", "b", "mid");
+  const auto sys = net.compose("pipeline");
+  // Open input: a.cmd; open output: b.out with composed latency 2+3 ms.
+  ASSERT_EQ(sys.assumptions.size(), 1u);
+  EXPECT_EQ(sys.assumptions[0].flow, "a.cmd");
+  ASSERT_EQ(sys.guarantees.size(), 1u);
+  EXPECT_EQ(sys.guarantees[0].flow, "b.out");
+  EXPECT_EQ(sys.guarantees[0].timing.latency, milliseconds(5));
+}
+
+TEST(Network, ComposedContractUsableAsComponent) {
+  // Compositionality: the composite contract plugs into a larger network.
+  ContractNetwork inner;
+  Contract a;
+  a.name = "a";
+  a.guarantees.push_back(flow("out", {0, 50}, {0, 0, milliseconds(1)}));
+  inner.add_component(a);
+  auto composite = inner.compose("subsystem");
+
+  ContractNetwork outer;
+  outer.add_component(composite);
+  Contract sink;
+  sink.name = "sink";
+  sink.assumptions.push_back(
+      flow("in", {0, 100}, {0, 0, milliseconds(5)}));
+  outer.add_component(sink);
+  outer.connect("subsystem", "a.out", "sink", "in");
+  EXPECT_TRUE(outer.check_compatibility().ok);
+}
+
+TEST(Network, DuplicateComponentRejected) {
+  ContractNetwork net;
+  net.add_component(controller_contract());
+  EXPECT_THROW(net.add_component(controller_contract()),
+               std::invalid_argument);
+}
+
+// --- Timed automata ------------------------------------------------------------------
+
+TEST(TimedAutomaton, DeadlineObserverAcceptsTimelyWord) {
+  // Observer: request -> (response within 5) else error.
+  TimedAutomaton ta;
+  const int idle = ta.add_location("idle");
+  const int pending = ta.add_location("pending");
+  const int err = ta.add_location("err", /*error=*/true);
+  const int c = ta.add_clock("c");
+  using C = TimedAutomaton::Constraint;
+  ta.add_edge(idle, pending, "request", {}, {c});
+  ta.add_edge(pending, idle, "response",
+              {{c, C::Op::kLe, 5}});
+  ta.add_edge(pending, err, "response", {{c, C::Op::kGt, 5}});
+  const auto ok = ta.run({{0, "request"}, {3, "response"},
+                          {10, "request"}, {5, "response"}});
+  EXPECT_TRUE(ok.accepted);
+  const auto bad = ta.run({{0, "request"}, {6, "response"}});
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_EQ(bad.failed_at, 1u);
+}
+
+TEST(TimedAutomaton, UnmatchedEventRejects) {
+  TimedAutomaton ta;
+  const int a = ta.add_location("a");
+  const int b = ta.add_location("b");
+  ta.add_edge(a, b, "go");
+  const auto r = ta.run({{0, "go"}, {0, "go"}});  // no edge from b
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.failed_at, 1u);
+}
+
+TEST(TimedAutomaton, ReachabilityRespectsGuards) {
+  // err only reachable after waiting > 3 time units.
+  TimedAutomaton ta;
+  const int start = ta.add_location("start");
+  const int err = ta.add_location("err", true);
+  const int c = ta.add_clock("c");
+  using C = TimedAutomaton::Constraint;
+  ta.add_edge(start, err, "fault", {{c, C::Op::kGt, 3}});
+  EXPECT_TRUE(ta.reachable(err));
+  EXPECT_TRUE(ta.error_reachable());
+}
+
+TEST(TimedAutomaton, UnreachableWhenGuardContradicts) {
+  TimedAutomaton ta;
+  const int start = ta.add_location("start");
+  const int mid = ta.add_location("mid");
+  const int err = ta.add_location("err", true);
+  const int c = ta.add_clock("c");
+  using C = TimedAutomaton::Constraint;
+  // mid only entered with c <= 2 and c reset; err needs c > 5 but every path
+  // into err demands c <= 3 first — the c<=3 edge out of mid dominates.
+  ta.add_edge(start, mid, "a", {{c, C::Op::kLe, 2}}, {c});
+  ta.add_edge(mid, err, "b",
+              {{c, C::Op::kGt, 5}, {c, C::Op::kLe, 3}});  // contradiction
+  EXPECT_FALSE(ta.reachable(err));
+  EXPECT_FALSE(ta.error_reachable());
+}
+
+TEST(TimedAutomaton, LocationLookup) {
+  TimedAutomaton ta;
+  ta.add_location("first");
+  ta.add_location("second");
+  EXPECT_EQ(ta.location_id("second"), 1);
+  EXPECT_EQ(ta.location_name(0), "first");
+  EXPECT_THROW((void)ta.location_id("nope"), std::invalid_argument);
+  EXPECT_EQ(ta.locations(), 2u);
+}
+
+}  // namespace

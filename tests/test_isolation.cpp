@@ -1,0 +1,162 @@
+// Unit tests: temporal firewall, fault injectors, containment monitor — and
+// the headline timing-isolation behaviour (victim protected from aggressor).
+#include <gtest/gtest.h>
+
+#include "isolation/fault_injection.hpp"
+#include "isolation/monitor.hpp"
+#include "isolation/temporal_firewall.hpp"
+#include "os/ecu.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace orte::isolation;
+using orte::os::Ecu;
+using orte::os::OverrunAction;
+using orte::os::Task;
+using orte::sim::Kernel;
+using orte::sim::Trace;
+using orte::sim::microseconds;
+using orte::sim::milliseconds;
+
+TEST(TemporalFirewall, ValidWithinHorizon) {
+  TemporalFirewall<std::uint64_t> fw;
+  fw.publish(42, 100, 500);
+  const auto entry = fw.read(300);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->value, 42u);
+  EXPECT_EQ(entry->observation_time, 100);
+}
+
+TEST(TemporalFirewall, StaleAfterHorizon) {
+  TemporalFirewall<std::uint64_t> fw;
+  fw.publish(42, 100, 500);
+  EXPECT_FALSE(fw.read(501).has_value());
+  EXPECT_EQ(fw.stale_reads(), 1u);
+  EXPECT_TRUE(fw.raw().has_value());  // raw value still inspectable
+}
+
+TEST(TemporalFirewall, EmptyReadsStale) {
+  TemporalFirewall<int> fw;
+  EXPECT_FALSE(fw.read(0).has_value());
+}
+
+TEST(TemporalFirewall, OverwriteInPlace) {
+  TemporalFirewall<int> fw;
+  fw.publish(1, 0, 100);
+  fw.publish(2, 50, 200);
+  EXPECT_EQ(fw.read(150)->value, 2);
+  EXPECT_EQ(fw.updates(), 2u);
+}
+
+TEST(FaultInjection, OverrunOnlyInsideWindow) {
+  Kernel kernel;
+  auto wcet = overrunning_wcet(kernel, milliseconds(1), 3.0,
+                               milliseconds(10), milliseconds(20));
+  EXPECT_EQ(wcet(), milliseconds(1));  // t = 0
+  kernel.schedule_at(milliseconds(15), [] {});
+  kernel.run_until(milliseconds(15));
+  EXPECT_EQ(wcet(), milliseconds(3));
+  kernel.schedule_at(milliseconds(25), [] {});
+  kernel.run_until(milliseconds(25));
+  EXPECT_EQ(wcet(), milliseconds(1));
+}
+
+TEST(FaultInjection, FactorBelowOneRejected) {
+  Kernel kernel;
+  EXPECT_THROW(overrunning_wcet(kernel, 1, 0.5, 0, 1), std::invalid_argument);
+}
+
+TEST(FaultInjection, JitteryWcetBounded) {
+  orte::sim::Rng rng(1);
+  auto wcet = jittery_wcet(rng, milliseconds(2), 0.3);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = wcet();
+    EXPECT_LE(c, milliseconds(2));
+    EXPECT_GE(c, static_cast<orte::sim::Duration>(milliseconds(2) * 0.7) - 1);
+  }
+}
+
+TEST(FaultInjection, CrashingWcetGoesSilent) {
+  Kernel kernel;
+  auto wcet = crashing_wcet(kernel, milliseconds(1), milliseconds(5));
+  EXPECT_EQ(wcet(), milliseconds(1));
+  kernel.schedule_at(milliseconds(6), [] {});
+  kernel.run_until(milliseconds(6));
+  EXPECT_EQ(wcet(), 0);
+}
+
+// The paper's core isolation scenario as a single test: three suppliers on
+// one ECU; supplier B's task overruns x4. Without budgets the victim misses
+// deadlines; with budget enforcement it never does.
+struct IsolationScenario {
+  Kernel kernel;
+  Trace trace;
+  Ecu ecu{kernel, trace, "host"};
+  Task* victim = nullptr;
+  Task* aggressor = nullptr;
+
+  explicit IsolationScenario(bool enforce) {
+    auto& a = ecu.add_task(
+        {.name = "supplierA", .priority = 3, .period = milliseconds(5),
+         .budget = enforce ? milliseconds(1) : 0,
+         .overrun_action =
+             enforce ? OverrunAction::kKillJob : OverrunAction::kNone});
+    a.set_body(microseconds(800));
+    auto& b = ecu.add_task(
+        {.name = "supplierB", .priority = 2, .period = milliseconds(10),
+         .budget = enforce ? milliseconds(2) : 0,
+         .overrun_action =
+             enforce ? OverrunAction::kKillJob : OverrunAction::kNone});
+    // B overruns its 2ms contract by 4x from t=100ms on.
+    b.add_segment({.duration = orte::isolation::overrunning_wcet(
+                       kernel, milliseconds(2), 4.0, milliseconds(100),
+                       milliseconds(400))});
+    auto& c = ecu.add_task(
+        {.name = "supplierC", .priority = 1, .period = milliseconds(10),
+         .relative_deadline = milliseconds(10),
+         .budget = enforce ? milliseconds(3) : 0,
+         .overrun_action =
+             enforce ? OverrunAction::kKillJob : OverrunAction::kNone});
+    c.set_body(milliseconds(3));
+    victim = &c;
+    aggressor = &b;
+    ecu.start();
+  }
+};
+
+TEST(TimingIsolation, WithoutBudgetsVictimSuffers) {
+  IsolationScenario s(/*enforce=*/false);
+  s.kernel.run_until(milliseconds(500));
+  EXPECT_GT(s.victim->deadline_misses(), 0u);
+}
+
+TEST(TimingIsolation, WithBudgetsVictimProtected) {
+  IsolationScenario s(/*enforce=*/true);
+  s.kernel.run_until(milliseconds(500));
+  EXPECT_EQ(s.victim->deadline_misses(), 0u);
+  EXPECT_GT(s.aggressor->jobs_killed(), 0u);  // the fault is sanctioned
+  // Outside the fault window the aggressor completes normally.
+  EXPECT_GT(s.aggressor->jobs_completed(), 0u);
+}
+
+TEST(ContainmentMonitor, ClassifiesTraceEvents) {
+  IsolationScenario s(/*enforce=*/true);
+  ContainmentMonitor mon(s.trace);
+  s.kernel.run_until(milliseconds(500));
+  EXPECT_EQ(mon.deadline_misses("supplierC"), 0u);
+  EXPECT_GT(mon.kills("supplierB"), 0u);
+  EXPECT_EQ(mon.victim_misses("supplierB"), mon.total_deadline_misses());
+}
+
+TEST(ContainmentMonitor, CountsVictimMissesWithoutEnforcement) {
+  IsolationScenario s(/*enforce=*/false);
+  ContainmentMonitor mon(s.trace);
+  s.kernel.run_until(milliseconds(500));
+  EXPECT_GT(mon.victim_misses("supplierB"), 0u);
+  EXPECT_EQ(mon.kills("supplierB"), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,634 @@
+// Property-based / parameterized suites (gtest TEST_P):
+//  * analysis soundness: simulated worst response <= analysed bound, for
+//    random task sets and CAN message sets across utilization bands,
+//  * medium exclusivity: TDMA protocols never overlap transmissions, with
+//    and without injected faults (guardian on),
+//  * timing isolation: victims never miss under budget enforcement for any
+//    overrun factor,
+//  * contract algebra: dominance is reflexive and transitive; compatibility
+//    is monotone under guarantee tightening,
+//  * COM packing round-trips over randomized non-overlapping layouts,
+//  * TT synthesis correctness: tables simulate without misses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "analysis/can_analysis.hpp"
+#include "analysis/flexray_analysis.hpp"
+#include "analysis/holistic.hpp"
+#include "analysis/rta.hpp"
+#include "analysis/tt_schedule.hpp"
+#include "bsw/com.hpp"
+#include "bsw/e2e_protection.hpp"
+#include "can/can_bus.hpp"
+#include "contracts/contract.hpp"
+#include "flexray/flexray_bus.hpp"
+#include "noc/noc.hpp"
+#include "os/ecu.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "ttp/ttp_bus.hpp"
+
+namespace {
+
+using namespace orte;
+using sim::Kernel;
+using sim::Rng;
+using sim::Trace;
+using sim::microseconds;
+using sim::milliseconds;
+
+// --- RTA soundness ------------------------------------------------------------
+
+struct RtaCase {
+  double utilization;
+  std::uint64_t seed;
+};
+
+class RtaSoundness : public ::testing::TestWithParam<RtaCase> {};
+
+TEST_P(RtaSoundness, SimulatedResponseNeverExceedsBound) {
+  const auto [target_u, seed] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 3 + rng.index(5);  // 3..7 tasks
+  const std::vector<sim::Duration> period_choices{
+      milliseconds(1), milliseconds(2), milliseconds(4),  milliseconds(5),
+      milliseconds(8), milliseconds(10), milliseconds(20)};
+  const auto shares = rng.uunifast(n, target_u);
+
+  std::vector<analysis::AnalysisTask> model;
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis::AnalysisTask t;
+    t.name = "t" + std::to_string(i);
+    t.period = period_choices[rng.index(period_choices.size())];
+    t.wcet = std::max<sim::Duration>(
+        microseconds(1),
+        static_cast<sim::Duration>(static_cast<double>(t.period) * shares[i]));
+    model.push_back(t);
+  }
+  analysis::assign_deadline_monotonic(model);
+
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  os::Ecu ecu(kernel, trace, "e");
+  for (const auto& m : model) {
+    ecu.add_task({.name = m.name, .priority = m.priority, .period = m.period})
+        .set_body(m.wcet);
+  }
+  ecu.start();
+  kernel.run_until(milliseconds(400));  // >= 2 hyperperiods (lcm <= 40ms)
+
+  const auto result = analysis::analyze(model);
+  for (const auto& m : model) {
+    const auto* task = ecu.find_task(m.name);
+    ASSERT_NE(task, nullptr);
+    auto it = result.response.find(m.name);
+    if (it == result.response.end()) continue;  // analysis: unschedulable
+    EXPECT_LE(task->response_times().max(), sim::to_ms(it->second) + 1e-9)
+        << m.name << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UtilizationBands, RtaSoundness,
+    ::testing::Values(RtaCase{0.3, 1}, RtaCase{0.3, 2}, RtaCase{0.3, 3},
+                      RtaCase{0.5, 4}, RtaCase{0.5, 5}, RtaCase{0.5, 6},
+                      RtaCase{0.7, 7}, RtaCase{0.7, 8}, RtaCase{0.7, 9},
+                      RtaCase{0.85, 10}, RtaCase{0.85, 11}, RtaCase{0.85, 12},
+                      RtaCase{0.95, 13}, RtaCase{0.95, 14}, RtaCase{0.95, 15}));
+
+// --- CAN analysis soundness ------------------------------------------------------
+
+class CanSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanSoundness, SimulatedQueueToDeliveryWithinBound) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr std::int64_t kBitrate = 500'000;
+  const std::size_t n = 4 + rng.index(6);  // 4..9 messages
+  std::vector<analysis::CanMessage> model;
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis::CanMessage m;
+    m.name = "m" + std::to_string(i);
+    m.id = static_cast<std::uint32_t>(0x100 + i);
+    m.bytes = 1 + rng.index(8);
+    m.period = milliseconds(5 * (1 + static_cast<std::int64_t>(rng.index(4))));
+    model.push_back(m);
+  }
+  const auto result = analysis::analyze_can(model, kBitrate);
+
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  can::CanBus bus(kernel, trace, {.bitrate_bps = kBitrate});
+  auto& sender = bus.attach();
+  auto& listener = bus.attach();
+  std::map<std::uint32_t, sim::Duration> observed;  // worst queue->delivery
+  listener.on_receive([&](const net::Frame& f) {
+    auto& worst = observed[f.id];
+    worst = std::max(worst, kernel.now() - f.enqueued_at);
+  });
+  for (const auto& m : model) {
+    kernel.schedule_periodic(0, m.period, [&sender, &kernel, m] {
+      net::Frame f;
+      f.id = m.id;
+      f.name = m.name;
+      f.payload.assign(m.bytes, 0x55);
+      f.enqueued_at = kernel.now();
+      sender.send(f);
+    });
+  }
+  kernel.run_until(milliseconds(500));
+  // Per-message observed worst response must be dominated by its analytic
+  // bound (the analysis is exact under synchronous release, so the bound is
+  // also tight at t=0 for the lowest-priority message).
+  for (const auto& m : model) {
+    auto bound = result.response.find(m.name);
+    if (bound == result.response.end()) continue;  // deemed unschedulable
+    ASSERT_TRUE(observed.count(m.id)) << m.name << " seed=" << seed;
+    EXPECT_LE(observed[m.id], bound->second) << m.name << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanSoundness,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- TDMA exclusivity -------------------------------------------------------------
+
+class TtpExclusivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TtpExclusivity, GuardianKeepsSlotsExclusiveUnderRandomFaults) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  Kernel kernel;
+  Trace trace;
+  ttp::TtpBus bus(kernel, trace, {.slot_len = microseconds(100),
+                                  .bus_guardian = true});
+  const std::size_t n = 4 + rng.index(5);
+  std::vector<ttp::TtpNode*> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(&bus.attach("n" + std::to_string(i)));
+  }
+  // Random babble windows on up to two random nodes.
+  for (int b = 0; b < 2; ++b) {
+    auto* node = nodes[rng.index(n)];
+    const auto from = milliseconds(rng.uniform(0, 40));
+    node->babble(from, from + milliseconds(rng.uniform(1, 20)));
+  }
+  bus.start();
+  kernel.run_until(milliseconds(100));
+  // Exclusivity: with guardians, no collisions ever happen and membership is
+  // fully intact.
+  EXPECT_EQ(bus.collisions(), 0u) << "seed=" << seed;
+  EXPECT_EQ(bus.membership_losses(), 0u);
+  for (bool member : bus.membership()) EXPECT_TRUE(member);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtpExclusivity,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --- Timing isolation sweep ---------------------------------------------------------
+
+class IsolationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IsolationSweep, VictimNeverMissesUnderEnforcement) {
+  const double factor = GetParam();
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  os::Ecu ecu(kernel, trace, "host");
+  auto& aggressor = ecu.add_task(
+      {.name = "aggressor", .priority = 2, .period = milliseconds(10),
+       .budget = milliseconds(2),
+       .overrun_action = os::OverrunAction::kKillJob});
+  aggressor.set_body([factor] {
+    return static_cast<sim::Duration>(milliseconds(2) * factor);
+  });
+  auto& victim = ecu.add_task({.name = "victim", .priority = 1,
+                               .period = milliseconds(10),
+                               .relative_deadline = milliseconds(10)});
+  victim.set_body(milliseconds(4));
+  ecu.start();
+  kernel.run_until(milliseconds(1000));
+  EXPECT_EQ(victim.deadline_misses(), 0u) << "factor=" << factor;
+  EXPECT_EQ(victim.jobs_completed(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OverrunFactors, IsolationSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 5.0, 8.0,
+                                           16.0));
+
+// --- Contract algebra ------------------------------------------------------------------
+
+contracts::Contract random_contract(Rng& rng, const std::string& name) {
+  contracts::Contract c;
+  c.name = name;
+  const auto random_flow = [&rng](const std::string& flow) {
+    contracts::FlowSpec f;
+    f.flow = flow;
+    const std::int64_t lo = rng.uniform(-100, 0);
+    f.range = {lo, lo + rng.uniform(1, 200)};
+    f.timing.period = milliseconds(rng.uniform(1, 50));
+    f.timing.latency = milliseconds(rng.uniform(1, 50));
+    return f;
+  };
+  c.assumptions.push_back(random_flow("in"));
+  c.guarantees.push_back(random_flow("out"));
+  return c;
+}
+
+class ContractAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContractAlgebra, DominanceReflexive) {
+  Rng rng(GetParam());
+  const auto c = random_contract(rng, "c");
+  EXPECT_TRUE(contracts::dominates(c, c));
+}
+
+TEST_P(ContractAlgebra, DominanceTransitiveOnRefinementChain) {
+  Rng rng(GetParam());
+  auto a = random_contract(rng, "a");
+  // b refines a: widen the accepted input range, tighten the output latency.
+  auto b = a;
+  b.assumptions[0].range.lo -= rng.uniform(0, 50);
+  b.assumptions[0].range.hi += rng.uniform(0, 50);
+  b.guarantees[0].timing.latency =
+      std::max<sim::Duration>(1, b.guarantees[0].timing.latency / 2);
+  auto c = b;
+  c.assumptions[0].timing.latency += milliseconds(rng.uniform(0, 20));
+  c.guarantees[0].range.hi =
+      std::max(c.guarantees[0].range.lo, c.guarantees[0].range.hi - 1);
+  ASSERT_TRUE(contracts::dominates(b, a));
+  ASSERT_TRUE(contracts::dominates(c, b));
+  EXPECT_TRUE(contracts::dominates(c, a));  // transitivity
+}
+
+TEST_P(ContractAlgebra, SatisfactionMonotoneUnderTightening) {
+  Rng rng(GetParam());
+  const auto c = random_contract(rng, "c");
+  const auto& g = c.guarantees[0];
+  contracts::FlowSpec a = g;  // assumption exactly the guarantee: satisfied
+  ASSERT_TRUE(contracts::satisfies(g, a).ok);
+  // Tightening the guarantee can never break satisfaction.
+  auto tighter = g;
+  tighter.range.lo += 1;
+  if (tighter.range.lo > tighter.range.hi) tighter.range.lo = tighter.range.hi;
+  tighter.timing.latency = std::max<sim::Duration>(1, g.timing.latency - 1);
+  EXPECT_TRUE(contracts::satisfies(tighter, a).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContractAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// --- COM packing round-trips -------------------------------------------------------------
+
+class ComPackingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComPackingProperty, RandomLayoutRoundTrips) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> payload(8, 0);
+  // Carve the 64 bits into consecutive random-width signals.
+  struct Sig {
+    std::size_t offset, length;
+    std::uint64_t value;
+  };
+  std::vector<Sig> sigs;
+  std::size_t cursor = 0;
+  while (cursor < 64) {
+    const std::size_t len =
+        std::min<std::size_t>(64 - cursor, 1 + rng.index(16));
+    const std::uint64_t value =
+        len == 64 ? rng.next_u64() : rng.next_u64() & ((1ULL << len) - 1);
+    sigs.push_back({cursor, len, value});
+    cursor += len;
+  }
+  for (const auto& s : sigs) {
+    bsw::pack_signal(payload, s.offset, s.length, s.value);
+  }
+  for (const auto& s : sigs) {
+    EXPECT_EQ(bsw::unpack_signal(payload, s.offset, s.length), s.value)
+        << "offset=" << s.offset << " len=" << s.length;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComPackingProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// --- TT synthesis correctness ---------------------------------------------------------------
+
+class TtSynthesisProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TtSynthesisProperty, SynthesizedTableSimulatesWithoutMisses) {
+  Rng rng(GetParam());
+  // Harmonic periods keep the hyperperiod small and feasibility likely.
+  const std::vector<sim::Duration> periods{milliseconds(5), milliseconds(10),
+                                           milliseconds(20)};
+  std::vector<analysis::TtJobSpec> specs;
+  const std::size_t n = 2 + rng.index(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis::TtJobSpec s;
+    s.task = "t" + std::to_string(i);
+    s.period = periods[rng.index(periods.size())];
+    s.wcet = microseconds(200 * (1 + static_cast<std::int64_t>(rng.index(5))));
+    specs.push_back(s);
+  }
+  const auto sched = analysis::synthesize_schedule(specs);
+  if (!sched.has_value()) GTEST_SKIP() << "random set infeasible";
+  // Windows must be disjoint and within [release, deadline].
+  for (std::size_t i = 1; i < sched->windows.size(); ++i) {
+    EXPECT_LE(sched->windows[i - 1].second, sched->windows[i].first);
+  }
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  os::Ecu ecu(kernel, trace, "tt");
+  for (const auto& s : specs) {
+    ecu.add_task({.name = s.task, .priority = 1}).set_body(s.wcet);
+  }
+  ecu.set_schedule_table(sched->entries, sched->cycle);
+  ecu.start();
+  kernel.run_until(10 * sched->cycle);
+  for (const auto& task : ecu.tasks()) {
+    EXPECT_EQ(task->deadline_misses(), 0u);
+    EXPECT_DOUBLE_EQ(task->response_times().min(),
+                     task->response_times().max());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtSynthesisProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// --- FlexRay static latency bound ---------------------------------------------
+
+class FlexRayBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlexRayBoundProperty, ObservedLatencyWithinAnalyticBounds) {
+  Rng rng(GetParam());
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  flexray::FlexRayConfig cfg;
+  cfg.static_slots = 2 + rng.index(14);
+  cfg.static_payload_bytes = 8 + 8 * rng.index(4);
+  cfg.minislots = 10 + rng.index(40);
+  cfg.minislot_len = sim::microseconds(1 + static_cast<std::int64_t>(
+                                               rng.index(4)));
+  cfg.network_idle = sim::microseconds(10 + static_cast<std::int64_t>(
+                                                rng.index(90)));
+  flexray::FlexRayBus bus(kernel, trace, cfg);
+  auto& tx = bus.attach();
+  auto& rx = bus.attach();
+  const auto slot =
+      static_cast<std::uint32_t>(1 + rng.index(cfg.static_slots));
+  bus.assign_static_slot(slot, tx);
+  const auto bound = analysis::flexray_static_latency(cfg, slot);
+  sim::Duration worst = 0;
+  rx.on_receive([&](const net::Frame& f) {
+    worst = std::max(worst, kernel.now() - f.enqueued_at);
+  });
+  // Writes at random instants.
+  for (int i = 0; i < 200; ++i) {
+    kernel.schedule_at(rng.uniform(0, sim::to_us(bus.cycle_len()) * 1000 * 50),
+                       [&tx, &kernel, slot] {
+                         net::Frame f;
+                         f.id = slot;
+                         f.payload.assign(4, 0x7E);
+                         f.enqueued_at = kernel.now();
+                         tx.send(std::move(f));
+                       });
+  }
+  bus.start();
+  kernel.run_until(60 * bus.cycle_len());
+  EXPECT_LE(worst, bound.worst) << "seed=" << GetParam();
+  EXPECT_GT(worst, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlexRayBoundProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- NoC TDMA latency bound ------------------------------------------------------
+
+class NocBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NocBoundProperty, TdmaLatencyBoundedByPeriodPlusTx) {
+  Rng rng(GetParam());
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  noc::NocConfig cfg;
+  cfg.arbitration = noc::Arbitration::kTdma;
+  cfg.slot_len = sim::microseconds(5 + static_cast<std::int64_t>(
+                                           rng.index(20)));
+  noc::Noc chip(kernel, trace, cfg);
+  const std::size_t cores = 2 + rng.index(7);
+  std::vector<noc::NetworkInterface*> nis;
+  for (std::size_t i = 0; i < cores; ++i) {
+    nis.push_back(&chip.attach("c" + std::to_string(i)));
+  }
+  // Every core sends at most one message per TDMA rotation (admission the
+  // schedule was dimensioned for), at a random phase.
+  const std::size_t max_bytes = std::min<std::size_t>(
+      chip.slot_capacity_bytes(), 256);
+  for (std::size_t c = 0; c < cores; ++c) {
+    const int src = static_cast<int>(c);
+    int dst = static_cast<int>(rng.index(cores));
+    if (dst == src) dst = (dst + 1) % static_cast<int>(cores);
+    const std::size_t bytes = 1 + rng.index(max_bytes);
+    const sim::Duration period =
+        chip.period() + rng.uniform(0, chip.period());
+    const sim::Time phase = rng.uniform(0, period);
+    kernel.schedule_periodic(
+        phase, period, [ni = nis[c], dst, bytes] {
+          noc::NocMessage m;
+          m.destination = dst;
+          m.name = "m";
+          m.bytes = bytes;
+          ni->send(m);
+        });
+  }
+  chip.start();
+  kernel.run_until(sim::milliseconds(20));
+  // With less than one arrival per rotation, a message waits at most one
+  // rotation for its slot plus at most one queued predecessor: 2 periods +
+  // serialization bounds every delivery.
+  const double bound_us =
+      2 * sim::to_us(chip.period()) + sim::to_us(chip.tx_time(max_bytes));
+  for (const auto& ni : chip.interfaces()) {
+    if (ni->rx_latency().empty()) continue;
+    EXPECT_LE(ni->rx_latency().max(), bound_us)
+        << ni->name() << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NocBoundProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --- E2E protection under random channel faults ------------------------------------
+
+class E2eChannelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(E2eChannelProperty, DetectsEveryCorruptionNeverFlagsCleanData) {
+  Rng rng(GetParam());
+  bsw::E2eProtector tx({.data_id = 0x77});
+  bsw::E2eChecker rx({.data_id = 0x77, .max_delta = 3});
+  int corrupted_delivered = 0;
+  int clean_rejected_for_crc = 0;
+  std::uint64_t value = 0;
+  int in_flight_losses = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> payload(4);
+    ++value;
+    for (int b = 0; b < 4; ++b) {
+      payload[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(value >> (8 * b));
+    }
+    auto frame = tx.protect(payload);
+    // Channel: 10% loss, 10% bit corruption, else clean.
+    const double dice = rng.next_double();
+    if (dice < 0.1) {
+      ++in_flight_losses;
+      continue;  // lost
+    }
+    const bool corrupt = dice < 0.2;
+    if (corrupt) {
+      // Flip a protected bit: CRC byte or payload (byte 0's high nibble is
+      // padding outside the counter and deliberately unprotected).
+      frame[1 + rng.index(frame.size() - 1)] ^=
+          static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    const auto r = rx.check(frame);
+    if (corrupt && (r.status == bsw::E2eStatus::kOk ||
+                    r.status == bsw::E2eStatus::kOkSomeLost)) {
+      // A flipped bit that still passes CRC8+counter is a real (rare)
+      // residual error; with CRC8 over 6 bytes it must not happen for
+      // single-bit flips.
+      ++corrupted_delivered;
+    }
+    if (!corrupt && r.status == bsw::E2eStatus::kWrongCrc) {
+      ++clean_rejected_for_crc;
+    }
+  }
+  EXPECT_EQ(corrupted_delivered, 0) << "seed=" << GetParam();
+  EXPECT_EQ(clean_rejected_for_crc, 0) << "seed=" << GetParam();
+  EXPECT_GT(rx.ok_count(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, E2eChannelProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --- Holistic analysis vs executable distributed system ------------------------
+
+class HolisticSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HolisticSoundness, ChainBoundsDominateSimulatedLatencies) {
+  Rng rng(GetParam());
+  constexpr std::int64_t kBitrate = 500'000;
+  // Random distributed system: n chains, each = sender task on ECU A ->
+  // CAN frame -> receiver task on ECU B.
+  const std::size_t n = 2 + rng.index(4);
+  const std::vector<sim::Duration> periods{milliseconds(5), milliseconds(10),
+                                           milliseconds(20), milliseconds(40)};
+  struct Chain {
+    sim::Duration period, send_wcet, recv_wcet;
+    std::uint32_t id;
+  };
+  std::vector<Chain> chains;
+  analysis::HolisticModel model;
+  for (std::size_t i = 0; i < n; ++i) {
+    Chain ch;
+    ch.period = periods[rng.index(periods.size())];
+    ch.send_wcet = microseconds(100 * (1 + static_cast<std::int64_t>(
+                                               rng.index(10))));
+    ch.recv_wcet = microseconds(100 * (1 + static_cast<std::int64_t>(
+                                               rng.index(10))));
+    ch.id = static_cast<std::uint32_t>(0x100 + i);
+    chains.push_back(ch);
+    model.add_task({.name = "s" + std::to_string(i), .ecu = "A",
+                    .wcet = ch.send_wcet, .period = ch.period,
+                    .priority = static_cast<int>(100 - i)});
+    model.add_task({.name = "r" + std::to_string(i), .ecu = "B",
+                    .wcet = ch.recv_wcet,
+                    .priority = static_cast<int>(100 - i)});
+    model.add_message({.name = "m" + std::to_string(i), .id = ch.id,
+                       .bytes = 8, .from_task = "s" + std::to_string(i),
+                       .to_task = "r" + std::to_string(i)});
+  }
+  const auto result = model.analyze(kBitrate);
+  if (!result.schedulable) GTEST_SKIP() << "random set unschedulable";
+
+  // Executable equivalent on the raw OS + CAN substrates.
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  os::Ecu ecu_a(kernel, trace, "A");
+  os::Ecu ecu_b(kernel, trace, "B");
+  can::CanBus bus(kernel, trace, {.bitrate_bps = kBitrate});
+  auto& ctrl_a = bus.attach();
+  auto& ctrl_b = bus.attach();
+
+  std::vector<double> observed_worst_ms(n, 0.0);
+  std::vector<os::Task*> receivers(n);
+  std::vector<sim::Time> chain_start(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& recv = ecu_b.add_task(
+        {.name = "r" + std::to_string(i),
+         .priority = static_cast<int>(100 - i),
+         .max_pending_activations = 4});
+    recv.set_body(chains[i].recv_wcet);
+    receivers[i] = &recv;
+    recv.on_complete([&, i](sim::Time, sim::Time done) {
+      observed_worst_ms[i] = std::max(
+          observed_worst_ms[i], sim::to_ms(done - chain_start[i]));
+    });
+    auto& send = ecu_a.add_task({.name = "s" + std::to_string(i),
+                                 .priority = static_cast<int>(100 - i),
+                                 .period = chains[i].period});
+    send.set_body(chains[i].send_wcet, [&, i] {
+      net::Frame fr;
+      fr.id = chains[i].id;
+      fr.name = "m" + std::to_string(i);
+      fr.payload.assign(8, 0x11);
+      fr.enqueued_at = kernel.now();
+      ctrl_a.send(std::move(fr));
+    });
+    // Track the chain head's activation instant for end-to-end measurement.
+    ecu_a.find_task("s" + std::to_string(i));
+  }
+  // Record head activations via the trace (activation -> chain start).
+  trace.enable_retention(false);
+  std::vector<std::deque<sim::Time>> pending_starts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ecu_a.find_task("s" + std::to_string(i))
+        ->on_complete([&, i](sim::Time activated, sim::Time) {
+          pending_starts[i].push_back(activated);
+        });
+  }
+  ctrl_b.on_receive([&](const net::Frame& fr) {
+    const std::size_t i = fr.id - 0x100;
+    if (!pending_starts[i].empty()) {
+      chain_start[i] = pending_starts[i].front();
+      pending_starts[i].pop_front();
+    }
+    ecu_b.activate(*receivers[i]);
+  });
+
+  ecu_a.start();
+  ecu_b.start();
+  kernel.run_until(milliseconds(400));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bound = result.chain_latency.at("s" + std::to_string(i));
+    EXPECT_LE(observed_worst_ms[i], sim::to_ms(bound) + 1e-9)
+        << "chain " << i << " seed=" << GetParam();
+    EXPECT_GT(observed_worst_ms[i], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HolisticSoundness,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace

@@ -1,0 +1,235 @@
+// Unit tests: discrete-event kernel, RNG, statistics, trace.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace orte::sim;
+
+TEST(Kernel, RunsEventsInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(300, [&] { order.push_back(3); });
+  k.schedule_at(100, [&] { order.push_back(1); });
+  k.schedule_at(200, [&] { order.push_back(2); });
+  k.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), 1000);
+}
+
+TEST(Kernel, SameInstantOrderedByPriorityThenSequence) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(100, [&] { order.push_back(2); }, EventOrder::kSoftware);
+  k.schedule_at(100, [&] { order.push_back(1); }, EventOrder::kHardware);
+  k.schedule_at(100, [&] { order.push_back(3); }, EventOrder::kSoftware);
+  k.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, SchedulingInThePastThrows) {
+  Kernel k;
+  k.schedule_at(100, [] {});
+  k.run_until(500);
+  EXPECT_THROW(k.schedule_at(100, [] {}), std::invalid_argument);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Kernel k;
+  int fired = 0;
+  auto h = k.schedule_at(100, [&] { ++fired; });
+  k.cancel(h);
+  k.run_until(1000);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Kernel, PeriodicFiresRepeatedlyAndCancels) {
+  Kernel k;
+  int fired = 0;
+  auto h = k.schedule_periodic(100, 100, [&] { ++fired; });
+  k.run_until(550);
+  EXPECT_EQ(fired, 5);  // 100..500
+  k.cancel(h);
+  k.run_until(2000);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Kernel, PeriodicSelfCancelFromPayload) {
+  Kernel k;
+  int fired = 0;
+  EventHandle h = k.schedule_periodic(10, 10, [&] {
+    if (++fired == 3) k.cancel(h);
+  });
+  k.run_until(1000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Kernel, EventsScheduledDuringEventRun) {
+  Kernel k;
+  int fired = 0;
+  k.schedule_at(100, [&] {
+    k.schedule_in(50, [&] { ++fired; });
+  });
+  k.run_until(1000);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Kernel, StopHaltsTheLoop) {
+  Kernel k;
+  int fired = 0;
+  k.schedule_at(100, [&] {
+    ++fired;
+    k.stop();
+  });
+  k.schedule_at(200, [&] { ++fired; });
+  k.run_until(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 100);
+}
+
+TEST(Kernel, HorizonStopsBeforeLaterEvents) {
+  Kernel k;
+  int fired = 0;
+  k.schedule_at(100, [&] { ++fired; });
+  k.schedule_at(900, [&] { ++fired; });
+  k.run_until(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 500);
+  k.run_until(1000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, DeterministicAcrossRuns) {
+  auto run = [] {
+    Kernel k;
+    Rng rng(42);
+    std::vector<Time> fire_times;
+    for (int i = 0; i < 100; ++i) {
+      k.schedule_at(rng.uniform(0, 10000),
+                    [&, i] { fire_times.push_back(k.now()); });
+    }
+    k.run_until(20000);
+    return fire_times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Time, ConversionHelpers) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(7)), 7.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UUniFastSumsToTarget) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto u = rng.uunifast(8, 0.7);
+    ASSERT_EQ(u.size(), 8u);
+    double sum = 0;
+    for (double x : u) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 0.7, 1e-9);
+  }
+}
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.spread(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.118, 1e-3);
+}
+
+TEST(Stats, Percentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Trace, RetainsAndCounts) {
+  Trace t;
+  t.emit(10, "cat.a", "x");
+  t.emit(20, "cat.a", "y");
+  t.emit(30, "cat.b", "x", 7, "detail");
+  EXPECT_EQ(t.count("cat.a"), 2u);
+  EXPECT_EQ(t.count("cat.b"), 1u);
+  EXPECT_EQ(t.count("cat.a", "x"), 1u);
+  EXPECT_EQ(t.records().back().value, 7);
+  EXPECT_EQ(t.records().back().detail, "detail");
+}
+
+TEST(Trace, ListenersSeeEveryEmit) {
+  Trace t;
+  int seen = 0;
+  t.subscribe([&](const TraceRecord& r) {
+    if (r.category == "hit") ++seen;
+  });
+  t.emit(1, "hit", "a");
+  t.emit(2, "miss", "b");
+  t.emit(3, "hit", "c");
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(Trace, RetentionCanBeDisabled) {
+  Trace t;
+  t.enable_retention(false);
+  t.emit(1, "x", "y");
+  EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
