@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_rte_semantics.dir/bench_a1_rte_semantics.cpp.o"
+  "CMakeFiles/bench_a1_rte_semantics.dir/bench_a1_rte_semantics.cpp.o.d"
+  "bench_a1_rte_semantics"
+  "bench_a1_rte_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_rte_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

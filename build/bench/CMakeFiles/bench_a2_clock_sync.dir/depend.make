@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a2_clock_sync.
+# This may be replaced when dependencies are built.

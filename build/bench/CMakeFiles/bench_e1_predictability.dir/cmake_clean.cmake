@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_predictability.dir/bench_e1_predictability.cpp.o"
+  "CMakeFiles/bench_e1_predictability.dir/bench_e1_predictability.cpp.o.d"
+  "bench_e1_predictability"
+  "bench_e1_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_extensibility.dir/bench_e3_extensibility.cpp.o"
+  "CMakeFiles/bench_e3_extensibility.dir/bench_e3_extensibility.cpp.o.d"
+  "bench_e3_extensibility"
+  "bench_e3_extensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

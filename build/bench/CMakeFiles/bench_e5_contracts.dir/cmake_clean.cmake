@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_contracts.dir/bench_e5_contracts.cpp.o"
+  "CMakeFiles/bench_e5_contracts.dir/bench_e5_contracts.cpp.o.d"
+  "bench_e5_contracts"
+  "bench_e5_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_analysis_validity.dir/bench_e6_analysis_validity.cpp.o"
+  "CMakeFiles/bench_e6_analysis_validity.dir/bench_e6_analysis_validity.cpp.o.d"
+  "bench_e6_analysis_validity"
+  "bench_e6_analysis_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_analysis_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

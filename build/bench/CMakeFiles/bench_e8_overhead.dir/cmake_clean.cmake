@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_overhead.dir/bench_e8_overhead.cpp.o"
+  "CMakeFiles/bench_e8_overhead.dir/bench_e8_overhead.cpp.o.d"
+  "bench_e8_overhead"
+  "bench_e8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/body_domain_diagnostics.dir/body_domain_diagnostics.cpp.o"
+  "CMakeFiles/body_domain_diagnostics.dir/body_domain_diagnostics.cpp.o.d"
+  "body_domain_diagnostics"
+  "body_domain_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/body_domain_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

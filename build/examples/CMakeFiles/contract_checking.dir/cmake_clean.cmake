@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_checking.dir/contract_checking.cpp.o"
+  "CMakeFiles/contract_checking.dir/contract_checking.cpp.o.d"
+  "contract_checking"
+  "contract_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrated_mpsoc.dir/integrated_mpsoc.cpp.o"
+  "CMakeFiles/integrated_mpsoc.dir/integrated_mpsoc.cpp.o.d"
+  "integrated_mpsoc"
+  "integrated_mpsoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrated_mpsoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

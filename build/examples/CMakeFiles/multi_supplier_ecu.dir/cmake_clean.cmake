@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_supplier_ecu.dir/multi_supplier_ecu.cpp.o"
+  "CMakeFiles/multi_supplier_ecu.dir/multi_supplier_ecu.cpp.o.d"
+  "multi_supplier_ecu"
+  "multi_supplier_ecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_supplier_ecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/can_analysis.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/can_analysis.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/can_analysis.cpp.o.d"
+  "/root/repo/src/analysis/e2e.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/e2e.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/e2e.cpp.o.d"
+  "/root/repo/src/analysis/flexray_analysis.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/flexray_analysis.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/flexray_analysis.cpp.o.d"
+  "/root/repo/src/analysis/frame_packing.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/frame_packing.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/frame_packing.cpp.o.d"
+  "/root/repo/src/analysis/holistic.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/holistic.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/holistic.cpp.o.d"
+  "/root/repo/src/analysis/rta.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/rta.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/rta.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/sensitivity.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/tt_schedule.cpp" "src/CMakeFiles/orte_analysis.dir/analysis/tt_schedule.cpp.o" "gcc" "src/CMakeFiles/orte_analysis.dir/analysis/tt_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orte_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_analysis.dir/analysis/can_analysis.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/can_analysis.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/e2e.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/e2e.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/flexray_analysis.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/flexray_analysis.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/frame_packing.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/frame_packing.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/holistic.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/holistic.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/rta.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/rta.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/sensitivity.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/sensitivity.cpp.o.d"
+  "CMakeFiles/orte_analysis.dir/analysis/tt_schedule.cpp.o"
+  "CMakeFiles/orte_analysis.dir/analysis/tt_schedule.cpp.o.d"
+  "liborte_analysis.a"
+  "liborte_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

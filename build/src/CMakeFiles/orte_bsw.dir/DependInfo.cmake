@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bsw/com.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/com.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/com.cpp.o.d"
+  "/root/repo/src/bsw/dcm.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/dcm.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/dcm.cpp.o.d"
+  "/root/repo/src/bsw/dem.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/dem.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/dem.cpp.o.d"
+  "/root/repo/src/bsw/e2e_protection.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/e2e_protection.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/e2e_protection.cpp.o.d"
+  "/root/repo/src/bsw/mode.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/mode.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/mode.cpp.o.d"
+  "/root/repo/src/bsw/nvm.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/nvm.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/nvm.cpp.o.d"
+  "/root/repo/src/bsw/pdu_router.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/pdu_router.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/pdu_router.cpp.o.d"
+  "/root/repo/src/bsw/watchdog.cpp" "src/CMakeFiles/orte_bsw.dir/bsw/watchdog.cpp.o" "gcc" "src/CMakeFiles/orte_bsw.dir/bsw/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orte_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

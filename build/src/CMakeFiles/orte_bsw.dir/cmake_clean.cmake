@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_bsw.dir/bsw/com.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/com.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/dcm.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/dcm.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/dem.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/dem.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/e2e_protection.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/e2e_protection.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/mode.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/mode.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/nvm.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/nvm.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/pdu_router.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/pdu_router.cpp.o.d"
+  "CMakeFiles/orte_bsw.dir/bsw/watchdog.cpp.o"
+  "CMakeFiles/orte_bsw.dir/bsw/watchdog.cpp.o.d"
+  "liborte_bsw.a"
+  "liborte_bsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_bsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for orte_bsw.
+# This may be replaced when dependencies are built.

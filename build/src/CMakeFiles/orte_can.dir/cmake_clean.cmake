@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_can.dir/can/can_bus.cpp.o"
+  "CMakeFiles/orte_can.dir/can/can_bus.cpp.o.d"
+  "liborte_can.a"
+  "liborte_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

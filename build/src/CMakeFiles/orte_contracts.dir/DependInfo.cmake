@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contracts/contract.cpp" "src/CMakeFiles/orte_contracts.dir/contracts/contract.cpp.o" "gcc" "src/CMakeFiles/orte_contracts.dir/contracts/contract.cpp.o.d"
+  "/root/repo/src/contracts/network.cpp" "src/CMakeFiles/orte_contracts.dir/contracts/network.cpp.o" "gcc" "src/CMakeFiles/orte_contracts.dir/contracts/network.cpp.o.d"
+  "/root/repo/src/contracts/timed_automaton.cpp" "src/CMakeFiles/orte_contracts.dir/contracts/timed_automaton.cpp.o" "gcc" "src/CMakeFiles/orte_contracts.dir/contracts/timed_automaton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orte_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

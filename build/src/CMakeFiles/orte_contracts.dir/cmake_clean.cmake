@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_contracts.dir/contracts/contract.cpp.o"
+  "CMakeFiles/orte_contracts.dir/contracts/contract.cpp.o.d"
+  "CMakeFiles/orte_contracts.dir/contracts/network.cpp.o"
+  "CMakeFiles/orte_contracts.dir/contracts/network.cpp.o.d"
+  "CMakeFiles/orte_contracts.dir/contracts/timed_automaton.cpp.o"
+  "CMakeFiles/orte_contracts.dir/contracts/timed_automaton.cpp.o.d"
+  "liborte_contracts.a"
+  "liborte_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_flexray.dir/flexray/dual_channel.cpp.o"
+  "CMakeFiles/orte_flexray.dir/flexray/dual_channel.cpp.o.d"
+  "CMakeFiles/orte_flexray.dir/flexray/flexray_bus.cpp.o"
+  "CMakeFiles/orte_flexray.dir/flexray/flexray_bus.cpp.o.d"
+  "liborte_flexray.a"
+  "liborte_flexray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_flexray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_isolation.dir/isolation/fault_injection.cpp.o"
+  "CMakeFiles/orte_isolation.dir/isolation/fault_injection.cpp.o.d"
+  "CMakeFiles/orte_isolation.dir/isolation/monitor.cpp.o"
+  "CMakeFiles/orte_isolation.dir/isolation/monitor.cpp.o.d"
+  "liborte_isolation.a"
+  "liborte_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_lin.dir/lin/lin_bus.cpp.o"
+  "CMakeFiles/orte_lin.dir/lin/lin_bus.cpp.o.d"
+  "liborte_lin.a"
+  "liborte_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

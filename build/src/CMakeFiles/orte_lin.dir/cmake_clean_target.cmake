@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborte_lin.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_net.dir/net/bus_stats.cpp.o"
+  "CMakeFiles/orte_net.dir/net/bus_stats.cpp.o.d"
+  "liborte_net.a"
+  "liborte_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_noc.dir/noc/can_overlay.cpp.o"
+  "CMakeFiles/orte_noc.dir/noc/can_overlay.cpp.o.d"
+  "CMakeFiles/orte_noc.dir/noc/noc.cpp.o"
+  "CMakeFiles/orte_noc.dir/noc/noc.cpp.o.d"
+  "liborte_noc.a"
+  "liborte_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_os.dir/os/ecu.cpp.o"
+  "CMakeFiles/orte_os.dir/os/ecu.cpp.o.d"
+  "liborte_os.a"
+  "liborte_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

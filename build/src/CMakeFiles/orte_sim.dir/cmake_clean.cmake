@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/orte_sim.dir/sim/kernel.cpp.o.d"
+  "liborte_sim.a"
+  "liborte_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_tte.dir/tte/tte_switch.cpp.o"
+  "CMakeFiles/orte_tte.dir/tte/tte_switch.cpp.o.d"
+  "liborte_tte.a"
+  "liborte_tte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_tte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

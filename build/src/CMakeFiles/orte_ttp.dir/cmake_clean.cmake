@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_ttp.dir/ttp/clock_sync.cpp.o"
+  "CMakeFiles/orte_ttp.dir/ttp/clock_sync.cpp.o.d"
+  "CMakeFiles/orte_ttp.dir/ttp/ttp_bus.cpp.o"
+  "CMakeFiles/orte_ttp.dir/ttp/ttp_bus.cpp.o.d"
+  "liborte_ttp.a"
+  "liborte_ttp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_ttp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

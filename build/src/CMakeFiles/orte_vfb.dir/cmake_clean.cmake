@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orte_vfb.dir/vfb/model.cpp.o"
+  "CMakeFiles/orte_vfb.dir/vfb/model.cpp.o.d"
+  "CMakeFiles/orte_vfb.dir/vfb/rte.cpp.o"
+  "CMakeFiles/orte_vfb.dir/vfb/rte.cpp.o.d"
+  "CMakeFiles/orte_vfb.dir/vfb/system.cpp.o"
+  "CMakeFiles/orte_vfb.dir/vfb/system.cpp.o.d"
+  "liborte_vfb.a"
+  "liborte_vfb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orte_vfb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsw.dir/test_bsw.cpp.o"
+  "CMakeFiles/test_bsw.dir/test_bsw.cpp.o.d"
+  "test_bsw"
+  "test_bsw.pdb"
+  "test_bsw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexray.dir/test_flexray.cpp.o"
+  "CMakeFiles/test_flexray.dir/test_flexray.cpp.o.d"
+  "test_flexray"
+  "test_flexray.pdb"
+  "test_flexray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

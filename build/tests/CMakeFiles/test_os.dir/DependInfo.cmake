@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_os.cpp" "tests/CMakeFiles/test_os.dir/test_os.cpp.o" "gcc" "tests/CMakeFiles/test_os.dir/test_os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orte_tte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_vfb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_ttp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_bsw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_flexray.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orte_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

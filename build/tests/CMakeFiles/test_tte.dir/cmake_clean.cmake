@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tte.dir/test_tte.cpp.o"
+  "CMakeFiles/test_tte.dir/test_tte.cpp.o.d"
+  "test_tte"
+  "test_tte.pdb"
+  "test_tte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

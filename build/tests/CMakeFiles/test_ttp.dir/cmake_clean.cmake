@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttp.dir/test_ttp.cpp.o"
+  "CMakeFiles/test_ttp.dir/test_ttp.cpp.o.d"
+  "test_ttp"
+  "test_ttp.pdb"
+  "test_ttp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

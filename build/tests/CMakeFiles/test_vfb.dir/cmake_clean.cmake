@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vfb.dir/test_vfb.cpp.o"
+  "CMakeFiles/test_vfb.dir/test_vfb.cpp.o.d"
+  "test_vfb"
+  "test_vfb.pdb"
+  "test_vfb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vfb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
