@@ -62,11 +62,12 @@ LatencyResult run_federated() {
     net::Frame f;
     f.id = 0x100;
     f.name = "engine";
-    f.payload.assign(8, 0);
+    std::vector<std::uint8_t> bytes(8, 0);
     for (int i = 0; i < 8; ++i) {
-      f.payload[static_cast<std::size_t>(i)] =
+      bytes[static_cast<std::size_t>(i)] =
           static_cast<std::uint8_t>((seq >> (8 * i)) & 0xFF);
     }
+    f.payload = std::move(bytes);
     born_at[seq] = kernel.now();
     ++seq;
     f.enqueued_at = kernel.now();

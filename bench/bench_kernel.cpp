@@ -1,0 +1,147 @@
+// Kernel micro-benchmarks — the simulation hot path.
+//
+// Three workloads that exercised the former O(n^2) cancellation path:
+//   * Churn: schedule N one-shot events, cancel half; the old kernel kept
+//     every cancelled id in a vector and linearly scanned it on each pop.
+//   * Periodic storm: P periodics re-arming for T ticks; the old kernel
+//     additionally scanned a periodic vector on every re-push.
+//   * Fan-out: one CAN frame broadcast to R receivers; with zero-copy
+//     payloads the per-receiver cost is a shared_ptr copy, not a payload
+//     allocation.
+// All three must scale linearly in the obvious size parameter; run with
+//   ./bench_kernel --benchmark_filter=Churn --benchmark_time_unit=ms
+// and check benchmark's own complexity estimate (BigO column).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "can/can_bus.hpp"
+#include "net/frame.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+using namespace orte;
+
+namespace {
+
+// Schedule n one-shot events, cancel every other one up front, then drain.
+void BM_CancelChurn(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    for (int i = 0; i < n; ++i) {
+      auto h = k.schedule_at(i + 1, [&] { ++fired; });
+      if (i % 2 == 0) k.cancel(h);
+    }
+    k.run_until(n + 1);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetComplexityN(n);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// Interleaved schedule/cancel while the queue drains: every pop must decide
+// dead-or-alive; the cancelled-id structure is hit constantly.
+void BM_CancelInterleaved(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel k;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < n; ++i) {
+      // Each event schedules a successor and cancels it half the time:
+      // cancellations keep arriving while the queue is hot.
+      k.schedule_at(i + 1, [&, i] {
+        ++fired;
+        auto h = k.schedule_at(k.now() + n, [&] { ++fired; });
+        if (i % 2 == 0) k.cancel(h);
+      });
+    }
+    k.run_until(2 * n + 2);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetComplexityN(n);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// P periodics, each firing T times; the re-arm path (push_periodic_occurrence)
+// is exercised P*T times.
+void BM_PeriodicStorm(benchmark::State& state) {
+  const auto periodics = static_cast<int>(state.range(0));
+  const auto ticks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Kernel k;
+    std::uint64_t fired = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(periodics));
+    for (int p = 0; p < periodics; ++p) {
+      handles.push_back(k.schedule_periodic(p + 1, periodics, [&] { ++fired; }));
+    }
+    k.run_until(static_cast<sim::Time>(periodics) * ticks + 1);
+    for (auto& h : handles) k.cancel(h);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetComplexityN(periodics * ticks);
+  state.SetItemsProcessed(state.iterations() * periodics * ticks);
+}
+
+// One sender, R receivers, F frames: zero-copy fan-out means the payload is
+// allocated once per frame, never per receiver.
+void BM_CanFanOut(benchmark::State& state) {
+  const auto receivers = static_cast<int>(state.range(0));
+  const auto frames = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Trace trace;
+    trace.enable_retention(false);
+    can::CanBus bus(k, trace, {.bitrate_bps = 1'000'000});
+    auto& tx = bus.attach();
+    std::uint64_t delivered = 0;
+    for (int r = 0; r < receivers; ++r) {
+      bus.attach().on_receive([&](const net::Frame&) { ++delivered; });
+    }
+    const sim::Duration gap = sim::microseconds(200);  // > 8-byte frame time
+    for (int i = 0; i < frames; ++i) {
+      k.schedule_at(static_cast<sim::Time>(i) * gap, [&tx, i] {
+        net::Frame f;
+        f.id = 0x100 + static_cast<std::uint32_t>(i % 16);
+        f.payload = std::vector<std::uint8_t>(8, static_cast<std::uint8_t>(i));
+        tx.send(std::move(f));
+      });
+    }
+    k.run_until(static_cast<sim::Time>(frames + 2) * gap);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetComplexityN(receivers);
+  state.SetItemsProcessed(state.iterations() * receivers * frames);
+}
+
+BENCHMARK(BM_CancelChurn)
+    ->Arg(10'000)
+    ->Arg(30'000)
+    ->Arg(100'000)
+    ->Arg(300'000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CancelInterleaved)
+    ->Arg(10'000)
+    ->Arg(30'000)
+    ->Arg(100'000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PeriodicStorm)
+    ->Args({100, 1000})
+    ->Args({1000, 1000})
+    ->Args({3000, 1000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CanFanOut)
+    ->Args({4, 20'000})
+    ->Args({16, 20'000})
+    ->Args({64, 20'000})
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -179,7 +179,9 @@ void Com::handle_rx(const net::Frame& frame) {
   auto idit = rx_by_frame_id_.find(frame.id);
   if (idit == rx_by_frame_id_.end()) return;  // not for us
   RxPdu& pdu = rx_.find(idit->second)->second;
-  pdu.payload = frame.payload;
+  // Stage into the PDU's own (mutable) buffer; reuses capacity, so steady
+  // state does no allocation. The frame's shared payload stays untouched.
+  pdu.payload.assign(frame.payload.begin(), frame.payload.end());
   pdu.payload.resize(pdu.cfg.length_bytes, 0);
   pdu.last_rx = kernel_.now();
   pdu.timed_out = false;

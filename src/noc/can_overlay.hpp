@@ -25,8 +25,8 @@
 namespace orte::noc {
 
 struct OverlayFrame {
-  std::uint32_t id = 0;  ///< CAN identifier (11-bit range enforced).
-  std::vector<std::uint8_t> data;  ///< Up to 8 bytes.
+  std::uint32_t id = 0;   ///< CAN identifier (11-bit range enforced).
+  net::Payload data;      ///< Up to 8 bytes; shared with the NoC message.
   Time sent_at = 0;
   Time received_at = 0;
 };

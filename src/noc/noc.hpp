@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -33,7 +34,7 @@ struct NocMessage {
   int destination = -1;  ///< Core index; -1 = broadcast to all other cores.
   std::string name;
   std::size_t bytes = 0;  ///< Wire size (payload + protocol overhead).
-  std::vector<std::uint8_t> payload;  ///< Application data (middleware use).
+  net::Payload payload;   ///< Application data (middleware use); shared.
   /// Injection priority at the NI: lower = more urgent; the default appends
   /// FIFO. The CAN overlay maps CAN identifiers here.
   std::uint32_t priority = UINT32_MAX;

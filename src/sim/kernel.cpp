@@ -1,8 +1,9 @@
 #include "sim/kernel.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/trace.hpp"
 
 namespace orte::sim {
 
@@ -17,7 +18,7 @@ EventHandle Kernel::schedule_at(Time when, Action action, EventOrder order) {
   ev.id = next_id_++;
   ev.action = std::move(action);
   EventHandle handle(ev.id);
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
   return handle;
 }
 
@@ -35,58 +36,94 @@ EventHandle Kernel::schedule_periodic(Time first, Duration period,
     throw std::invalid_argument("Kernel::schedule_periodic: first in past");
   }
   const std::uint64_t id = next_id_++;
-  periodics_.push_back(Periodic{id, period, static_cast<int>(order),
-                                std::make_shared<Action>(std::move(action))});
+  periodics_.emplace(id, Periodic{period, static_cast<int>(order),
+                                  std::make_shared<Action>(std::move(action))});
   push_periodic_occurrence(id, first);
   return EventHandle(id);
 }
 
+void Kernel::enqueue(Event ev) {
+  pending_.emplace(ev.id, false);
+  queue_.push(std::move(ev));
+  ++pushed_;
+  if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+}
+
 void Kernel::push_periodic_occurrence(std::uint64_t id, Time when) {
-  auto it = std::find_if(periodics_.begin(), periodics_.end(),
-                         [id](const Periodic& p) { return p.id == id; });
-  if (it == periodics_.end()) return;
+  auto it = periodics_.find(id);
+  if (it == periodics_.end()) return;  // series cancelled
   Event ev;
   ev.when = when;
-  ev.order = it->order;
+  ev.order = it->second.order;
   ev.seq = next_seq_++;
   ev.id = id;
-  const Duration period = it->period;
-  auto payload = it->payload;
+  const Duration period = it->second.period;
+  auto payload = it->second.payload;
   ev.action = [this, id, period, payload]() {
     (*payload)();
-    if (!is_cancelled(id)) push_periodic_occurrence(id, now_ + period);
+    push_periodic_occurrence(id, now_ + period);
   };
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
 }
 
 void Kernel::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  cancelled_.push_back(handle.id_);
-  periodics_.erase(std::remove_if(periodics_.begin(), periodics_.end(),
-                                  [&](const Periodic& p) {
-                                    return p.id == handle.id_;
-                                  }),
-                   periodics_.end());
-}
-
-bool Kernel::is_cancelled(std::uint64_t id) {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-         cancelled_.end();
+  bool effective = false;
+  if (auto it = pending_.find(handle.id_);
+      it != pending_.end() && !it->second) {
+    it->second = true;  // the queued occurrence is skipped + purged at pop
+    effective = true;
+  }
+  if (periodics_.erase(handle.id_) > 0) effective = true;
+  if (effective) ++cancelled_count_;
 }
 
 Time Kernel::run_until(Time horizon) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
     if (queue_.top().when > horizon) break;
-    Event ev = queue_.top();
+    // Moving from top() before pop() is safe: pop_heap move-assigns over the
+    // moved-from slot. Avoids a std::function deep copy per event.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (is_cancelled(ev.id)) continue;
+    ++popped_;
+    auto node = pending_.extract(ev.id);
+    if (!node.empty() && node.mapped()) {
+      ++skipped_dead_;  // dead event: its id is purged right here
+      continue;
+    }
     now_ = ev.when;
     ++executed_;
     ev.action();
   }
   if (!stopped_ && now_ < horizon && horizon != kForever) now_ = horizon;
   return now_;
+}
+
+KernelCounters Kernel::counters() const {
+  KernelCounters c;
+  c.pushed = pushed_;
+  c.popped = popped_;
+  c.executed = executed_;
+  c.cancelled = cancelled_count_;
+  c.skipped_dead = skipped_dead_;
+  c.peak_queue_depth = peak_depth_;
+  c.queue_depth = queue_.size();
+  return c;
+}
+
+void Kernel::trace_counters(Trace& trace, std::string_view subject) const {
+  const KernelCounters c = counters();
+  const auto emit = [&](std::string_view category, std::uint64_t value) {
+    trace.emit(now_, category, subject, static_cast<std::int64_t>(value));
+  };
+  emit("kernel.pushed", c.pushed);
+  emit("kernel.popped", c.popped);
+  emit("kernel.executed", c.executed);
+  emit("kernel.cancelled", c.cancelled);
+  emit("kernel.skipped_dead", c.skipped_dead);
+  emit("kernel.peak_queue_depth", c.peak_queue_depth);
+  emit("kernel.queue_depth", c.queue_depth);
 }
 
 }  // namespace orte::sim

@@ -3,21 +3,28 @@
 // The kernel owns a priority queue of timestamped events. Determinism is a
 // hard requirement (experiments compare isolation-on vs isolation-off runs
 // pairwise), so ties are broken by (time, priority, insertion sequence) —
-// never by pointer values or hash order.
+// never by pointer values or hash order. Cancellation is O(1) and leaves no
+// residue: a cancelled id is purged the moment its dead event is popped, so
+// long-running churn workloads stay linear in event count (see DESIGN.md,
+// "Kernel internals").
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace orte::sim {
 
+class Trace;
+
 /// Handle used to cancel a scheduled event. Cancelling is O(1): the event is
-/// marked dead and skipped when popped.
+/// marked dead and skipped (and its bookkeeping purged) when popped.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -39,6 +46,17 @@ enum class EventOrder : int {
   kDefault = 2,
   kSoftware = 3,
   kObserver = 4,
+};
+
+/// Kernel hot-path counters (perf diagnostics; see Kernel::counters()).
+struct KernelCounters {
+  std::uint64_t pushed = 0;        ///< Events entered into the queue.
+  std::uint64_t popped = 0;        ///< Events removed (executed + dead).
+  std::uint64_t executed = 0;      ///< Events whose action ran.
+  std::uint64_t cancelled = 0;     ///< Effective cancel() calls.
+  std::uint64_t skipped_dead = 0;  ///< Dead events purged at pop.
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t queue_depth = 0;   ///< Current depth.
 };
 
 class Kernel {
@@ -65,7 +83,7 @@ class Kernel {
   EventHandle schedule_periodic(Time first, Duration period, Action action,
                                 EventOrder order = EventOrder::kDefault);
 
-  /// Cancel a pending event; no-op if already fired or invalid.
+  /// Cancel a pending event; no-op if already fired or invalid. O(1).
   void cancel(EventHandle handle);
 
   /// Run until the event queue drains or `horizon` is passed; returns the
@@ -77,6 +95,12 @@ class Kernel {
 
   /// Number of events executed so far (diagnostics / perf counters).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Snapshot of the hot-path counters.
+  [[nodiscard]] KernelCounters counters() const;
+
+  /// Emit every counter as a trace record (category "kernel.<counter>").
+  void trace_counters(Trace& trace, std::string_view subject = "kernel") const;
 
  private:
   struct Event {
@@ -95,22 +119,30 @@ class Kernel {
   };
 
   struct Periodic {
-    std::uint64_t id = 0;
     Duration period = 0;
     int order = 0;
     std::shared_ptr<Action> payload;
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // dead event ids
-  std::vector<Periodic> periodics_;       // live periodic series
+  /// id -> cancelled flag for every event currently in the queue. Each id
+  /// appears at most once (a periodic has one pending occurrence at a time),
+  /// so the entry is inserted at push and extracted at pop: memory is bounded
+  /// by queue depth, and cancel/is-dead checks are O(1).
+  std::unordered_map<std::uint64_t, bool> pending_;
+  std::unordered_map<std::uint64_t, Periodic> periodics_;  ///< Live series.
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::uint64_t skipped_dead_ = 0;
+  std::uint64_t peak_depth_ = 0;
   bool stopped_ = false;
 
-  bool is_cancelled(std::uint64_t id);
+  void enqueue(Event ev);
   void push_periodic_occurrence(std::uint64_t id, Time when);
 };
 

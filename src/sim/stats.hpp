@@ -40,8 +40,13 @@ class Stats {
     for (double v : samples_) s += (v - m) * (v - m);
     return std::sqrt(s / static_cast<double>(samples_.size()));
   }
-  /// p in [0, 100]; nearest-rank on the sorted samples.
+  /// p in [0, 100]; nearest-rank on the sorted samples. Throws
+  /// std::invalid_argument outside that range (a silent clamp used to hide
+  /// caller bugs as "the max sample").
   [[nodiscard]] double percentile(double p) const {
+    if (!(p >= 0.0 && p <= 100.0)) {  // also rejects NaN
+      throw std::invalid_argument("Stats::percentile: p outside [0, 100]");
+    }
     require_samples();
     if (!sorted_) {
       sorted_samples_ = samples_;

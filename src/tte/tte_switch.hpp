@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -48,7 +49,7 @@ struct TteFlow {
 
 struct TteFrame {
   std::uint32_t flow = 0;
-  std::vector<std::uint8_t> payload;
+  net::Payload payload;  ///< Shared buffer: egress queues copy it for free.
   Time enqueued_at = 0;
   Time delivered_at = 0;
 };
@@ -135,7 +136,7 @@ class TteSwitch {
   std::vector<std::unique_ptr<TteEndpoint>> endpoints_;
   std::vector<TteFlow> flows_;
   std::vector<Egress> egress_;
-  std::map<std::uint32_t, std::optional<std::vector<std::uint8_t>>> tt_buffer_;
+  std::map<std::uint32_t, std::optional<net::Payload>> tt_buffer_;
   std::map<std::uint32_t, Time> rc_last_tx_;
   std::map<std::uint32_t, sim::Stats> latency_us_;
   std::uint64_t drops_ = 0;

@@ -16,15 +16,20 @@ ClockSyncCluster::ClockSyncCluster(sim::Kernel& kernel, sim::Trace& trace,
         "FTA needs more than 2k nodes to tolerate k faults");
   }
   clocks_.resize(cfg_.nodes);
+  const auto ppm = static_cast<std::int64_t>(cfg_.max_drift_ppm);
   for (auto& c : clocks_) {
-    c.drift = rng_.uniform_real(-cfg_.max_drift_ppm, cfg_.max_drift_ppm) * 1e-6;
+    c.drift_ppm = rng_.uniform(-ppm, ppm);
   }
 }
 
 sim::Time ClockSyncCluster::raw_clock(const NodeClock& c) const {
   const sim::Time t = kernel_.now();
-  sim::Time local =
-      t + static_cast<sim::Time>(static_cast<double>(t) * c.drift) + c.offset;
+  // Integer ppm arithmetic, split to avoid overflow: exact and
+  // platform-independent over any horizon, unlike the previous
+  // double multiply-and-cast which loses precision on long runs.
+  const sim::Time drift = (t / 1'000'000) * c.drift_ppm +
+                          (t % 1'000'000) * c.drift_ppm / 1'000'000;
+  sim::Time local = t + drift + c.offset;
   if (t >= c.byz_from) local += c.byz_delta;
   return local;
 }

@@ -63,7 +63,7 @@ class ClockSyncCluster {
 
  private:
   struct NodeClock {
-    double drift = 0.0;          ///< Fractional rate deviation.
+    std::int64_t drift_ppm = 0;  ///< Rate deviation in parts-per-million.
     sim::Duration offset = 0;    ///< Accumulated correction state.
     sim::Duration byz_delta = 0;
     sim::Time byz_from = sim::kForever;

@@ -23,11 +23,21 @@ namespace orte::vfb {
 
 using sim::Duration;
 
+/// Overflow semantics of a bounded queued element, mirroring AUTOSAR queued
+/// sender-receiver communication.
+enum class QueueOverflow {
+  kReject,      ///< Full queue: the incoming value is discarded (E_LIMIT).
+  kDropOldest,  ///< Full queue: the oldest queued value is displaced.
+};
+
 struct DataElement {
   std::string name;
   std::size_t bit_length = 32;  ///< 1..64; packed into COM signals as-is.
   std::uint64_t init = 0;
   bool queued = false;  ///< Queued (event) semantics instead of last-is-best.
+  /// Receiver-side queue bound for queued elements; 0 = unbounded (opt-out).
+  std::size_t queue_length = 16;
+  QueueOverflow overflow = QueueOverflow::kReject;
 };
 
 struct Operation {

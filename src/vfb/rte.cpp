@@ -52,11 +52,14 @@ std::string Rte::key(std::string_view instance, std::string_view port,
 
 void Rte::add_local_route(const std::string& sender_key,
                           const std::string& receiver_key, bool queued,
-                          std::uint64_t init) {
+                          std::uint64_t init, std::size_t queue_length,
+                          QueueOverflow overflow) {
   local_routes_[sender_key].push_back(receiver_key);
   Slot& slot = slots_[receiver_key];
   slot.queued = queued;
   slot.value = init;
+  slot.queue_limit = queue_length;
+  slot.overflow = overflow;
 }
 
 void Rte::add_remote_route(const std::string& sender_key, bsw::Com& com,
@@ -65,10 +68,13 @@ void Rte::add_remote_route(const std::string& sender_key, bsw::Com& com,
 }
 
 void Rte::add_remote_receiver(const std::string& receiver_key, bool queued,
-                              std::uint64_t init) {
+                              std::uint64_t init, std::size_t queue_length,
+                              QueueOverflow overflow) {
   Slot& slot = slots_[receiver_key];
   slot.queued = queued;
   slot.value = init;
+  slot.queue_limit = queue_length;
+  slot.overflow = overflow;
 }
 
 void Rte::deliver(const std::string& receiver_key, std::uint64_t value) {
@@ -78,9 +84,21 @@ void Rte::deliver(const std::string& receiver_key, std::uint64_t value) {
   }
   Slot& slot = it->second;
   if (slot.queued) {
+    // Bounded AUTOSAR-style queue; slot.value keeps the init (queued slots
+    // are read through the queue, never last-is-best).
+    if (slot.queue_limit > 0 && slot.queue.size() >= slot.queue_limit) {
+      ++overflows_;
+      trace_.emit(kernel_.now(), "rte.queue_overflow", receiver_key,
+                  static_cast<std::int64_t>(value));
+      if (slot.overflow == QueueOverflow::kReject) {
+        return;  // value lost; no data-received activation
+      }
+      slot.queue.pop_front();  // kDropOldest: displace the head
+    }
     slot.queue.push_back(value);
+  } else {
+    slot.value = value;
   }
-  slot.value = value;
   slot.last_update = kernel_.now();
   auto hooks = update_hooks_.find(receiver_key);
   if (hooks != update_hooks_.end()) {
@@ -232,7 +250,12 @@ std::uint64_t Rte::peek(const std::string& receiver_key) const {
   if (it == slots_.end()) {
     throw std::invalid_argument("Rte::peek: unknown slot " + receiver_key);
   }
-  return it->second.value;
+  const Slot& slot = it->second;
+  if (slot.queued) {
+    // Next value a reader would pop; the init value when the queue is empty.
+    return slot.queue.empty() ? slot.value : slot.queue.front();
+  }
+  return slot.value;
 }
 
 }  // namespace orte::vfb

@@ -56,6 +56,9 @@ class RunnableContext {
 
 class Rte {
  public:
+  /// Default bound of a queued receiver slot (AUTOSAR queue length).
+  static constexpr std::size_t kDefaultQueueLength = 16;
+
   Rte(sim::Kernel& kernel, sim::Trace& trace, const Composition& composition,
       std::string ecu_name);
   Rte(const Rte&) = delete;
@@ -66,15 +69,21 @@ class Rte {
 
   // --- Wiring (called by the System generator) ------------------------------
   /// Same-ECU connection: writes to `sender` propagate to `receiver`.
+  /// For queued receivers, `queue_length` bounds the slot queue (0 =
+  /// unbounded) and `overflow` picks the full-queue semantics.
   void add_local_route(const std::string& sender_key,
                        const std::string& receiver_key, bool queued,
-                       std::uint64_t init);
+                       std::uint64_t init,
+                       std::size_t queue_length = kDefaultQueueLength,
+                       QueueOverflow overflow = QueueOverflow::kReject);
   /// Cross-ECU connection: writes to `sender` go out as a COM signal.
   void add_remote_route(const std::string& sender_key, bsw::Com& com,
                         std::string signal);
   /// Declare a receiver slot fed from the network (COM rx side).
   void add_remote_receiver(const std::string& receiver_key, bool queued,
-                           std::uint64_t init);
+                           std::uint64_t init,
+                           std::size_t queue_length = kDefaultQueueLength,
+                           QueueOverflow overflow = QueueOverflow::kReject);
   /// Network delivery entry point (wired to Com::on_signal).
   void deliver(const std::string& receiver_key, std::uint64_t value);
   /// Run `cb` whenever `receiver_key` is updated (data-received activation).
@@ -90,6 +99,8 @@ class Rte {
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
   [[nodiscard]] std::uint64_t calls() const { return calls_; }
+  /// Values lost to full receiver queues (rejected or displaced).
+  [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
   [[nodiscard]] const std::string& ecu_name() const { return ecu_name_; }
   /// Live value of a receiver slot (testing/diagnosis).
   [[nodiscard]] std::uint64_t peek(const std::string& receiver_key) const;
@@ -98,9 +109,11 @@ class Rte {
   friend class RunnableContext;
 
   struct Slot {
-    std::uint64_t value = 0;
+    std::uint64_t value = 0;  ///< Last-is-best slots only; init for queued.
     bool queued = false;
     std::deque<std::uint64_t> queue;
+    std::size_t queue_limit = kDefaultQueueLength;  ///< 0 = unbounded.
+    QueueOverflow overflow = QueueOverflow::kReject;
     sim::Time last_update = -1;
   };
 
@@ -138,6 +151,7 @@ class Rte {
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t calls_ = 0;
+  std::uint64_t overflows_ = 0;
 };
 
 }  // namespace orte::vfb

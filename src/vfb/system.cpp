@@ -29,6 +29,8 @@ struct SignalSpec {
   std::size_t bit_length = 32;
   std::uint64_t init = 0;
   bool queued = false;
+  std::size_t queue_length = Rte::kDefaultQueueLength;
+  QueueOverflow overflow = QueueOverflow::kReject;
   sim::Duration sort_period = sim::kForever;
   /// (receiver ECU, receiver Rte key) pairs.
   std::vector<std::pair<std::string, std::string>> receivers;
@@ -155,6 +157,8 @@ void System::build() {
         spec.bit_length = elem.bit_length;
         spec.init = elem.init;
         spec.queued = elem.queued;
+        spec.queue_length = elem.queue_length;
+        spec.overflow = elem.overflow;
         spec.sort_period =
             writer_period(conn.from_instance, conn.from_port, elem.name);
         signals.push_back(std::move(spec));
@@ -307,7 +311,9 @@ void System::build() {
         sig.bit_length = sspec->bit_length;
         receiver.com->add_signal(sig);
         for (const auto& key : keys) {
-          receiver.rte->add_remote_receiver(key, sspec->queued, sspec->init);
+          receiver.rte->add_remote_receiver(key, sspec->queued, sspec->init,
+                                            sspec->queue_length,
+                                            sspec->overflow);
         }
         Rte* rte = receiver.rte.get();
         receiver.com->on_signal(sspec->name,
@@ -332,7 +338,7 @@ void System::build() {
       c.rte->add_local_route(
           Rte::key(conn.from_instance, conn.from_port, elem.name),
           Rte::key(conn.to_instance, conn.to_port, elem.name), elem.queued,
-          elem.init);
+          elem.init, elem.queue_length, elem.overflow);
     }
   }
 

@@ -41,6 +41,27 @@ TEST(CanBus, FrameTimeMatchesDavisFormula) {
   EXPECT_EQ(frame_transmission_time(8, 1'000'000), microseconds(135));
 }
 
+TEST(CanBus, FanOutSharesOnePayloadBuffer) {
+  // Broadcast delivery must not deep-copy the payload per receiver: every
+  // controller's rx callback sees the same shared immutable buffer.
+  Fixture f;
+  CanBus bus(f.kernel, f.trace, {});
+  auto& tx = bus.attach();
+  std::vector<orte::net::Payload> seen;
+  for (int i = 0; i < 4; ++i) {
+    bus.attach().on_receive([&](const Frame& fr) {
+      seen.push_back(fr.payload);
+    });
+  }
+  f.kernel.schedule_at(0, [&] { tx.send(make_frame(0x10, 8, 0)); });
+  f.kernel.run_until(milliseconds(10));
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i].shares_buffer_with(seen[0]));
+  }
+  EXPECT_EQ(seen[0].bytes(), std::vector<std::uint8_t>(8, 0xAB));
+}
+
 TEST(CanBus, LowestIdWinsArbitration) {
   Fixture f;
   CanBus bus(f.kernel, f.trace, {});

@@ -71,6 +71,94 @@ TEST(Kernel, PeriodicSelfCancelFromPayload) {
   EXPECT_EQ(fired, 3);
 }
 
+TEST(Kernel, CancelDuringSameInstantPreventsLaterEvent) {
+  Kernel k;
+  int fired = 0;
+  // Both events share t=100; the hardware-order event cancels the
+  // software-order one before it is popped within the same instant.
+  EventHandle victim =
+      k.schedule_at(100, [&] { ++fired; }, EventOrder::kSoftware);
+  k.schedule_at(100, [&] { k.cancel(victim); }, EventOrder::kHardware);
+  k.run_until(1000);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Kernel, ReScheduleAfterCancel) {
+  Kernel k;
+  int first = 0, second = 0;
+  auto h = k.schedule_periodic(100, 100, [&] { ++first; });
+  k.cancel(h);
+  auto h2 = k.schedule_periodic(100, 100, [&] { ++second; });
+  k.run_until(550);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 5);
+  k.cancel(h2);
+  k.run_until(1000);
+  EXPECT_EQ(second, 5);
+}
+
+TEST(Kernel, CancelIsIdempotentAndIgnoresInvalidHandles) {
+  Kernel k;
+  int fired = 0;
+  auto h = k.schedule_at(100, [&] { ++fired; });
+  k.cancel(h);
+  k.cancel(h);               // double cancel: no effect, no double count
+  k.cancel(EventHandle{});   // invalid handle: no-op
+  k.run_until(1000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(k.counters().cancelled, 1u);
+}
+
+TEST(Kernel, CancelChurnStaysLinearAndBounded) {
+  // Guards the O(1) cancellation fix: the old implementation kept every
+  // cancelled id forever and scanned the list on every pop (O(n^2) run time,
+  // unbounded memory). Counters must show every dead event purged.
+  Kernel k;
+  constexpr int kEvents = 100'000;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    auto h = k.schedule_at(i + 1, [&] { ++fired; });
+    if (i % 2 == 0) k.cancel(h);
+  }
+  const KernelCounters mid = k.counters();
+  EXPECT_EQ(mid.queue_depth, static_cast<std::uint64_t>(kEvents));
+  k.run_until(kEvents + 1);
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kEvents / 2));
+  EXPECT_EQ(k.events_executed(), fired);
+  const KernelCounters after = k.counters();
+  EXPECT_EQ(after.pushed, static_cast<std::uint64_t>(kEvents));
+  EXPECT_EQ(after.popped, after.pushed);  // every event left the queue
+  EXPECT_EQ(after.skipped_dead, static_cast<std::uint64_t>(kEvents / 2));
+  EXPECT_EQ(after.cancelled, after.skipped_dead);
+  EXPECT_EQ(after.queue_depth, 0u);  // nothing retained after the run
+  EXPECT_EQ(after.peak_queue_depth, static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(Kernel, PeriodicCancelMidSeriesPurgesPendingOccurrence) {
+  Kernel k;
+  int fired = 0;
+  auto h = k.schedule_periodic(100, 100, [&] { ++fired; });
+  k.run_until(250);  // two occurrences fired; the third is pending
+  EXPECT_EQ(fired, 2);
+  k.cancel(h);
+  k.run_until(2000);
+  EXPECT_EQ(fired, 2);
+  // The dead occurrence was popped and purged, not retained.
+  EXPECT_EQ(k.counters().skipped_dead, 1u);
+  EXPECT_EQ(k.counters().queue_depth, 0u);
+}
+
+TEST(Kernel, TraceCountersEmitsEveryCounter) {
+  Kernel k;
+  Trace trace;
+  k.schedule_at(100, [] {});
+  k.run_until(1000);
+  k.trace_counters(trace, "k0");
+  EXPECT_EQ(trace.count("kernel.pushed", "k0"), 1u);
+  EXPECT_EQ(trace.count("kernel.executed", "k0"), 1u);
+  EXPECT_EQ(trace.count("kernel.peak_queue_depth", "k0"), 1u);
+}
+
 TEST(Kernel, EventsScheduledDuringEventRun) {
   Kernel k;
   int fired = 0;
@@ -192,6 +280,18 @@ TEST(Stats, Percentiles) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
   EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, PercentileOutsideRangeThrows) {
+  Stats s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_THROW((void)s.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(100.1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+  // The boundaries themselves stay valid.
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
 }
 
 TEST(Stats, EmptyThrows) {

@@ -351,6 +351,121 @@ TEST(System, QueuedElementsDeliverFifoWithoutLoss) {
   }
 }
 
+namespace {
+
+// Burst producer (5ms, writes exactly values 1..10 then stops) against a
+// slow consumer (50ms, one drain per activation): the receiver queue fills
+// during the burst, so which values survive depends only on the overflow
+// policy, not on steady-state timing.
+struct OverflowModel {
+  Composition comp;
+
+  OverflowModel(std::vector<std::uint64_t>* sink, std::size_t queue_length,
+                QueueOverflow overflow) {
+    PortInterface i;
+    i.name = "IVal";
+    i.kind = PortInterface::Kind::kSenderReceiver;
+    DataElement elem{"val", 64, 0, /*queued=*/true};
+    elem.queue_length = queue_length;
+    elem.overflow = overflow;
+    i.elements.push_back(elem);
+    comp.add_interface(i);
+
+    Runnable produce;
+    produce.name = "produce";
+    produce.trigger = RunnableTrigger::timing(milliseconds(5));
+    produce.execution_time = [] { return microseconds(100); };
+    produce.accesses.push_back({"out", "val", DataAccessKind::kExplicitWrite});
+    produce.behavior = [n = std::uint64_t{0}](RunnableContext& ctx) mutable {
+      if (n < 10) ctx.write("out", "val", ++n);
+    };
+    comp.add_type({"Producer",
+                   {Port{"out", "IVal", PortDirection::kProvided}}, {produce}});
+
+    Runnable consume;
+    consume.name = "consume";
+    consume.trigger = RunnableTrigger::timing(milliseconds(50));
+    consume.execution_time = [] { return microseconds(100); };
+    consume.accesses.push_back({"in", "val", DataAccessKind::kExplicitRead});
+    consume.behavior = [sink](RunnableContext& ctx) {
+      const auto v = ctx.read("in", "val");
+      if (v != 0) sink->push_back(v);
+    };
+    comp.add_type({"Consumer",
+                   {Port{"in", "IVal", PortDirection::kRequired}}, {consume}});
+
+    comp.add_instance({"p", "Producer"});
+    comp.add_instance({"k", "Consumer"});
+    comp.add_connector({"p", "out", "k", "in"});
+  }
+};
+
+}  // namespace
+
+TEST(System, QueuedElementRejectPolicyKeepsOldest) {
+  Kernel kernel;
+  Trace trace;
+  std::vector<std::uint64_t> consumed;
+  OverflowModel m(&consumed, /*queue_length=*/2, QueueOverflow::kReject);
+  DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "ecu0"};
+  plan.instances["k"] = {.ecu = "ecu0"};
+  System sys(kernel, trace, m.comp, plan);
+  sys.run_for(milliseconds(600));
+  // The burst (values 1..10 within 45ms) overruns the 2-deep queue while the
+  // consumer pops at most once per 50ms. Reject drops the NEWEST writes, so
+  // only the earliest values survive; the tail of the burst is lost forever.
+  ASSERT_GE(consumed.size(), 2u);
+  EXPECT_EQ(consumed[0], 1u);
+  for (std::size_t i = 0; i < consumed.size(); ++i) {
+    EXPECT_LE(consumed[i], 4u);
+    if (i > 0) {
+      EXPECT_GT(consumed[i], consumed[i - 1]);
+    }
+  }
+  EXPECT_GE(sys.rte("ecu0").overflows(), 6u);
+  EXPECT_GE(trace.count("rte.queue_overflow", "k.in.val"), 6u);
+}
+
+TEST(System, QueuedElementDropOldestPolicyKeepsNewest) {
+  Kernel kernel;
+  Trace trace;
+  std::vector<std::uint64_t> consumed;
+  OverflowModel m(&consumed, /*queue_length=*/2, QueueOverflow::kDropOldest);
+  DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "ecu0"};
+  plan.instances["k"] = {.ecu = "ecu0"};
+  System sys(kernel, trace, m.comp, plan);
+  sys.run_for(milliseconds(600));
+  // Drop-oldest displaces the head: after the burst the queue holds the
+  // NEWEST values (9, 10), so the consumer ends up at the burst's tail.
+  ASSERT_GE(consumed.size(), 2u);
+  for (std::size_t i = 1; i < consumed.size(); ++i) {
+    EXPECT_GT(consumed[i], consumed[i - 1]);
+  }
+  EXPECT_EQ(consumed.back(), 10u);
+  EXPECT_EQ(consumed[consumed.size() - 2], 9u);
+  EXPECT_GE(sys.rte("ecu0").overflows(), 6u);
+}
+
+TEST(System, QueuedElementUnboundedOptOutNeverOverflows) {
+  Kernel kernel;
+  Trace trace;
+  std::vector<std::uint64_t> consumed;
+  OverflowModel m(&consumed, /*queue_length=*/0, QueueOverflow::kReject);
+  DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "ecu0"};
+  plan.instances["k"] = {.ecu = "ecu0"};
+  System sys(kernel, trace, m.comp, plan);
+  sys.run_for(milliseconds(600));
+  // queue_length = 0 opts out of the bound: every burst value is retained
+  // and eventually drained, in order, with no overflow.
+  EXPECT_EQ(sys.rte("ecu0").overflows(), 0u);
+  EXPECT_EQ(trace.count("rte.queue_overflow", "k.in.val"), 0u);
+  EXPECT_EQ(consumed,
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+}
+
 TEST(System, ClientServerCallInlinedAndRouted) {
   Kernel kernel;
   Trace trace;
