@@ -1,0 +1,70 @@
+// Deployment plan: the mapping side of the AUTOSAR methodology (§2).
+//
+// A DeploymentPlan assigns component instances to ECUs, picks the backbone
+// bus and scheduling policy, and attaches timing-isolation attributes
+// (budgets, partitions). It is consumed by two independent passes:
+//  * validation::Validator — the design-time static analysis (rules that
+//    need deployment context: races, cross-ECU feasibility, task limits),
+//  * vfb::System — the generator that turns Composition + plan into an
+//    executable distributed system.
+// Keeping it free of generator state lets the validator run without
+// constructing any runtime object.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "can/can_bus.hpp"
+#include "flexray/flexray_bus.hpp"
+#include "os/ecu.hpp"
+#include "sim/time.hpp"
+
+namespace orte::vfb {
+
+enum class BusKind { kCan, kFlexRay };
+
+struct InstanceDeployment {
+  std::string ecu;
+  /// Timing-isolation attributes applied to every task of this instance.
+  sim::Duration budget = 0;
+  os::OverrunAction overrun_action = os::OverrunAction::kNone;
+  std::string partition;  ///< Partition name on the instance's ECU; "" = none.
+};
+
+struct PartitionSpec {
+  std::string ecu;
+  std::string name;
+  sim::Duration budget = 0;
+  sim::Duration period = 0;
+};
+
+enum class SchedulingPolicy {
+  kFixedPriority,  ///< Rate-monotonic priorities (the ET baseline).
+  /// Periodic tasks dispatched from a synthesized time-triggered schedule
+  /// table (analysis::synthesize_schedule over the runnables' WCET bounds):
+  /// contention-free by construction — the §1 "timing isolation via careful
+  /// planning and tool support". Data-received tasks remain event-driven.
+  kTimeTriggered,
+};
+
+struct DeploymentPlan {
+  std::map<std::string, InstanceDeployment> instances;
+  std::vector<PartitionSpec> partitions;
+  BusKind bus = BusKind::kCan;
+  SchedulingPolicy scheduling = SchedulingPolicy::kFixedPriority;
+  can::CanConfig can;
+  flexray::FlexRayConfig flexray;
+  /// Priority for data-received event tasks (above periodic tasks so network
+  /// deliveries propagate promptly).
+  int data_task_priority = 200;
+  std::uint32_t can_base_id = 0x100;
+};
+
+/// Task-numbering constants shared by the generator and the validator so the
+/// race detector reasons about exactly the tasks the generator would emit.
+inline constexpr int kPeriodicBasePriority = 150;
+inline constexpr std::size_t kMaxPeriodicTasksPerEcu = 140;
+
+}  // namespace orte::vfb

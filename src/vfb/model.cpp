@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "validation/validator.hpp"
+
 namespace orte::vfb {
 
 namespace {
@@ -114,66 +116,28 @@ const Connector* Composition::connection_to(std::string_view instance,
   return nullptr;
 }
 
+const PortInterface* Composition::find_interface(std::string_view name) const {
+  auto it = interfaces_.find(name);
+  return it == interfaces_.end() ? nullptr : &it->second;
+}
+
+const ComponentType* Composition::find_type(std::string_view name) const {
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+const ComponentInstance* Composition::find_instance(
+    std::string_view name) const {
+  for (const auto& i : instances_) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
 void Composition::validate() const {
-  for (const auto& inst : instances_) {
-    const ComponentType& t = type(inst.type);  // throws if unknown
-    for (const auto& p : t.ports) {
-      interface(p.interface);  // throws if unknown
-    }
-    for (const auto& r : t.runnables) {
-      for (const auto& acc : r.accesses) {
-        const Port& p = port_of(inst.name, acc.port);
-        const PortInterface& iface = interface(p.interface);
-        if (iface.kind != PortInterface::Kind::kSenderReceiver) {
-          fail("data access on non-SR port " + acc.port);
-        }
-        element_of(inst.name, acc.port, acc.element);
-        const bool writes = acc.kind == DataAccessKind::kImplicitWrite ||
-                            acc.kind == DataAccessKind::kExplicitWrite;
-        if (writes && p.direction != PortDirection::kProvided) {
-          fail("runnable " + r.name + " writes required port " + acc.port);
-        }
-        if (!writes && p.direction != PortDirection::kRequired) {
-          fail("runnable " + r.name + " reads provided port " + acc.port);
-        }
-      }
-      if (r.trigger.kind == RunnableTrigger::Kind::kTiming &&
-          r.trigger.period <= 0) {
-        fail("timing runnable " + r.name + " has no period");
-      }
-      if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived) {
-        element_of(inst.name, r.trigger.port, r.trigger.element);
-      }
-    }
-  }
-  for (const auto& c : connectors_) {
-    const Port& from = port_of(c.from_instance, c.from_port);
-    const Port& to = port_of(c.to_instance, c.to_port);
-    if (from.direction != PortDirection::kProvided) {
-      fail("connector source " + c.from_port + " is not a provided port");
-    }
-    if (to.direction != PortDirection::kRequired) {
-      fail("connector target " + c.to_port + " is not a required port");
-    }
-    if (from.interface != to.interface) {
-      fail("connector interface mismatch: " + from.interface + " vs " +
-           to.interface);
-    }
-  }
-  // A required SR/CS port may have at most one feeding connector.
-  for (const auto& inst : instances_) {
-    const ComponentType& t = type(inst.type);
-    for (const auto& p : t.ports) {
-      if (p.direction != PortDirection::kRequired) continue;
-      int feeds = 0;
-      for (const auto& c : connectors_) {
-        if (c.to_instance == inst.name && c.to_port == p.name) ++feeds;
-      }
-      if (feeds > 1) {
-        fail("required port " + inst.name + "." + p.name +
-             " fed by multiple connectors");
-      }
-    }
+  const auto report = validation::validate(*this);
+  if (report.has_errors()) {
+    fail("model validation failed\n" + report.render());
   }
 }
 

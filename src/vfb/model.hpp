@@ -151,9 +151,9 @@ class Composition {
                              std::string_view operation,
                              OperationHandler handler);
 
-  /// Structural validation: every reference resolves, connector directions
-  /// and interfaces match, required ports are connected at most once.
-  /// Throws std::invalid_argument with a diagnostic on the first violation.
+  /// Structural validation via validation::Validator (model-only rules).
+  /// Throws std::invalid_argument carrying the full rendered report when any
+  /// error-severity diagnostic is found; warnings and infos are tolerated.
   void validate() const;
 
   // --- Lookups (throw on unknown names) ------------------------------------
@@ -168,10 +168,21 @@ class Composition {
                                             std::string_view port,
                                             std::string_view operation) const;
 
+  // --- Non-throwing finders (used by the static validator) -----------------
+  const PortInterface* find_interface(std::string_view name) const;
+  const ComponentType* find_type(std::string_view name) const;
+  const ComponentInstance* find_instance(std::string_view name) const;
+
   const std::vector<ComponentInstance>& instances() const {
     return instances_;
   }
   const std::vector<Connector>& connectors() const { return connectors_; }
+  const std::map<std::string, PortInterface, std::less<>>& interfaces() const {
+    return interfaces_;
+  }
+  const std::map<std::string, ComponentType, std::less<>>& types() const {
+    return types_;
+  }
 
   /// Connectors whose source is (instance, port).
   std::vector<const Connector*> connections_from(std::string_view instance,

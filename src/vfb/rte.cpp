@@ -9,6 +9,12 @@ std::string runnable_key(const std::string& instance,
                          const Runnable& runnable) {
   return instance + "/" + runnable.name;
 }
+/// Element name carried by a receiver key ("instance.port.element").
+std::string element_of_key(const std::string& receiver_key) {
+  const auto pos = receiver_key.rfind('.');
+  return pos == std::string::npos ? receiver_key
+                                  : receiver_key.substr(pos + 1);
+}
 }  // namespace
 
 // --- RunnableContext ---------------------------------------------------------
@@ -56,6 +62,7 @@ void Rte::add_local_route(const std::string& sender_key,
                           QueueOverflow overflow) {
   local_routes_[sender_key].push_back(receiver_key);
   Slot& slot = slots_[receiver_key];
+  slot.element = element_of_key(receiver_key);
   slot.queued = queued;
   slot.value = init;
   slot.queue_limit = queue_length;
@@ -71,6 +78,7 @@ void Rte::add_remote_receiver(const std::string& receiver_key, bool queued,
                               std::uint64_t init, std::size_t queue_length,
                               QueueOverflow overflow) {
   Slot& slot = slots_[receiver_key];
+  slot.element = element_of_key(receiver_key);
   slot.queued = queued;
   slot.value = init;
   slot.queue_limit = queue_length;
@@ -88,8 +96,11 @@ void Rte::deliver(const std::string& receiver_key, std::uint64_t value) {
     // are read through the queue, never last-is-best).
     if (slot.queue_limit > 0 && slot.queue.size() >= slot.queue_limit) {
       ++overflows_;
+      // Detail carries the element name so the record correlates with
+      // element-level diagnostics (validator rules V3/V4) without parsing
+      // the receiver key.
       trace_.emit(kernel_.now(), "rte.queue_overflow", receiver_key,
-                  static_cast<std::int64_t>(value));
+                  static_cast<std::int64_t>(value), slot.element);
       if (slot.overflow == QueueOverflow::kReject) {
         return;  // value lost; no data-received activation
       }

@@ -110,6 +110,9 @@ class Rte {
 
   struct Slot {
     std::uint64_t value = 0;  ///< Last-is-best slots only; init for queued.
+    /// Data-element name (last key segment), kept so runtime trace records
+    /// name the element a diagnosis (V3/V4 rules) talks about directly.
+    std::string element;
     bool queued = false;
     std::deque<std::uint64_t> queue;
     std::size_t queue_limit = kDefaultQueueLength;  ///< 0 = unbounded.

@@ -7,6 +7,7 @@
 
 #include "analysis/frame_packing.hpp"
 #include "analysis/tt_schedule.hpp"
+#include "validation/validator.hpp"
 
 namespace orte::vfb {
 
@@ -49,7 +50,10 @@ const InstanceDeployment& System::deployment(
     const std::string& instance) const {
   auto it = plan_.instances.find(instance);
   if (it == plan_.instances.end()) {
-    throw std::invalid_argument("no deployment for instance " + instance);
+    // The validator (rule V1) rejects undeployed instances before generation
+    // starts, so reaching this is a generator defect, not a user error.
+    throw std::logic_error("internal: no deployment for instance " + instance +
+                           " escaped validation");
   }
   return it->second;
 }
@@ -64,22 +68,28 @@ System::EcuCtx& System::ctx(const std::string& ecu_name) {
 
 sim::Duration System::inlined_wcet(const std::string& instance,
                                    const Runnable& runnable) const {
+  // Malformed or unresolvable server calls are rejected by the validator
+  // (rules V1/V2/V3) before generation; the throws below are backstops for
+  // validator gaps, carrying instance + runnable to locate the defect.
+  const auto gap = [&](const std::string& what) -> std::logic_error {
+    return std::logic_error("internal: " + what + " (instance " + instance +
+                            ", runnable " + runnable.name +
+                            ") escaped validation");
+  };
   sim::Duration inlined = 0;
   for (const auto& call : runnable.server_calls) {
     const auto dot = call.find('.');
     if (dot == std::string::npos) {
-      throw std::invalid_argument("server call must be 'port.operation': " +
-                                  call);
+      throw gap("server call must be 'port.operation': " + call);
     }
     const std::string port = call.substr(0, dot);
     const std::string op = call.substr(dot + 1);
     const Connector* conn = model_.connection_to(instance, port);
     if (conn == nullptr) {
-      throw std::invalid_argument("server call on unconnected port " +
-                                  instance + "." + port);
+      throw gap("server call on unconnected port " + instance + "." + port);
     }
     if (deployment(conn->from_instance).ecu != deployment(instance).ecu) {
-      throw std::invalid_argument("cross-ECU server call: " + call);
+      throw gap("cross-ECU server call: " + call);
     }
     const Port& server_port =
         model_.port_of(conn->from_instance, conn->from_port);
@@ -88,7 +98,7 @@ sim::Duration System::inlined_wcet(const std::string& instance,
         std::find_if(iface.operations.begin(), iface.operations.end(),
                      [&](const Operation& o) { return o.name == op; });
     if (oit == iface.operations.end()) {
-      throw std::invalid_argument("unknown operation in server call: " + call);
+      throw gap("unknown operation in server call: " + call);
     }
     inlined += oit->wcet;
   }
@@ -114,9 +124,15 @@ sim::Duration System::writer_period(const std::string& instance,
 }
 
 void System::build() {
-  model_.validate();
-  for (const auto& inst : model_.instances()) {
-    deployment(inst.name);  // every instance must be mapped
+  // Strict-mode static validation: the full rule set (V1..V7) runs over the
+  // model *and* the deployment plan before any runtime object exists. Any
+  // error-severity diagnostic aborts generation with the complete rendered
+  // report; warnings (e.g. V4 race hazards) and infos are tolerated here and
+  // can be inspected via validation::validate(model, plan) directly.
+  const validation::Diagnostics report = validation::validate(model_, plan_);
+  if (report.has_errors()) {
+    throw std::invalid_argument("System: model validation failed\n" +
+                                report.render());
   }
 
   // ECU set, in deterministic (sorted) order.
@@ -133,9 +149,11 @@ void System::build() {
     const std::string& receiver_ecu = deployment(conn.to_instance).ecu;
     if (iface.kind == PortInterface::Kind::kClientServer) {
       if (sender_ecu != receiver_ecu) {
-        throw std::invalid_argument(
-            "client-server connector spans ECUs (unsupported): " +
-            conn.from_instance + " -> " + conn.to_instance);
+        // Rejected by validator rule V2; backstop for validator gaps.
+        throw std::logic_error(
+            "internal: client-server connector spans ECUs (unsupported): " +
+            conn.from_instance + " -> " + conn.to_instance +
+            " escaped validation");
       }
       continue;
     }
@@ -404,8 +422,10 @@ void System::build_tasks() {
       if (a.period != b.period) return a.period < b.period;
       return a.instance < b.instance;
     });
-    if (groups.size() > 140) {
-      throw std::logic_error("too many periodic tasks on ECU " + ecu_name);
+    if (groups.size() > kMaxPeriodicTasksPerEcu) {
+      // Rejected by validator rule V5; backstop for validator gaps.
+      throw std::logic_error("internal: too many periodic tasks on ECU " +
+                             ecu_name + " escaped validation");
     }
 
     auto make_segment = [this, &c](const std::string& instance,
@@ -461,7 +481,7 @@ void System::build_tasks() {
       const InstanceDeployment& dep = deployment(g.instance);
       os::TaskConfig cfg;
       cfg.name = periodic_task_name(g.instance, g.period);
-      cfg.priority = 150 - rank;
+      cfg.priority = kPeriodicBasePriority - rank;
       ++rank;
       cfg.period = tt ? 0 : g.period;  // TT: activated by the table
       if (tt) cfg.relative_deadline = g.period;  // keep miss monitoring

@@ -27,49 +27,11 @@
 #include "os/ecu.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
+#include "vfb/deployment.hpp"
 #include "vfb/model.hpp"
 #include "vfb/rte.hpp"
 
 namespace orte::vfb {
-
-enum class BusKind { kCan, kFlexRay };
-
-struct InstanceDeployment {
-  std::string ecu;
-  /// Timing-isolation attributes applied to every task of this instance.
-  sim::Duration budget = 0;
-  os::OverrunAction overrun_action = os::OverrunAction::kNone;
-  std::string partition;  ///< Partition name on the instance's ECU; "" = none.
-};
-
-struct PartitionSpec {
-  std::string ecu;
-  std::string name;
-  sim::Duration budget = 0;
-  sim::Duration period = 0;
-};
-
-enum class SchedulingPolicy {
-  kFixedPriority,  ///< Rate-monotonic priorities (the ET baseline).
-  /// Periodic tasks dispatched from a synthesized time-triggered schedule
-  /// table (analysis::synthesize_schedule over the runnables' WCET bounds):
-  /// contention-free by construction — the §1 "timing isolation via careful
-  /// planning and tool support". Data-received tasks remain event-driven.
-  kTimeTriggered,
-};
-
-struct DeploymentPlan {
-  std::map<std::string, InstanceDeployment> instances;
-  std::vector<PartitionSpec> partitions;
-  BusKind bus = BusKind::kCan;
-  SchedulingPolicy scheduling = SchedulingPolicy::kFixedPriority;
-  can::CanConfig can;
-  flexray::FlexRayConfig flexray;
-  /// Priority for data-received event tasks (above periodic tasks so network
-  /// deliveries propagate promptly).
-  int data_task_priority = 200;
-  std::uint32_t can_base_id = 0x100;
-};
 
 /// Design-time verdict over a generated deployment (§2: "prior to
 /// implementation system configuration checks").

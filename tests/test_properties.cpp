@@ -31,6 +31,9 @@
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 #include "ttp/ttp_bus.hpp"
+#include "validation/validator.hpp"
+#include "vfb/model.hpp"
+#include "vfb/system.hpp"
 
 namespace {
 
@@ -630,5 +633,123 @@ TEST_P(HolisticSoundness, ChainBoundsDominateSimulatedLatencies) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HolisticSoundness,
                          ::testing::Range<std::uint64_t>(1, 16));
+
+// --- Validator completeness vs the system generator ----------------------------
+//
+// Property: a model+plan the static validator passes (no error-severity
+// diagnostics) NEVER throws from System construction or a short run — the
+// validator is a complete front-line for the generator. Conversely, a model
+// the validator rejects must be rejected by strict-mode construction too.
+
+struct RandomVfbModel {
+  vfb::Composition comp;
+  vfb::DeploymentPlan plan;
+};
+
+RandomVfbModel random_vfb_model(sim::Rng& rng) {
+  using namespace orte::vfb;
+  RandomVfbModel m;
+  const std::vector<sim::Duration> periods{milliseconds(1), milliseconds(2),
+                                           milliseconds(5), milliseconds(10),
+                                           milliseconds(20)};
+  const std::vector<std::size_t> widths{8, 16, 32, 64};
+  const std::size_t pipelines = 1 + rng.index(3);
+  for (std::size_t i = 0; i < pipelines; ++i) {
+    const std::string suffix = std::to_string(i);
+    PortInterface iface;
+    iface.name = "I" + suffix;
+    iface.kind = PortInterface::Kind::kSenderReceiver;
+    DataElement elem;
+    elem.name = "val";
+    elem.bit_length = widths[rng.index(widths.size())];
+    elem.queued = rng.index(3) == 0;
+    elem.queue_length = 2 + rng.index(6);
+    elem.overflow = rng.index(2) == 0 ? QueueOverflow::kReject
+                                      : QueueOverflow::kDropOldest;
+    iface.elements.push_back(elem);
+    m.comp.add_interface(iface);
+
+    Runnable produce;
+    produce.name = "produce";
+    produce.trigger = RunnableTrigger::timing(periods[rng.index(periods.size())]);
+    produce.accesses.push_back(
+        {"out", "val",
+         rng.index(2) == 0 ? DataAccessKind::kImplicitWrite
+                           : DataAccessKind::kExplicitWrite});
+    m.comp.add_type({"P" + suffix,
+                     {Port{"out", iface.name, PortDirection::kProvided}},
+                     {produce}});
+
+    Runnable consume;
+    consume.name = "consume";
+    if (rng.index(3) == 0) {
+      consume.trigger = RunnableTrigger::data_received("in", "val");
+    } else {
+      consume.trigger =
+          RunnableTrigger::timing(periods[rng.index(periods.size())]);
+    }
+    consume.accesses.push_back(
+        {"in", "val",
+         rng.index(2) == 0 ? DataAccessKind::kImplicitRead
+                           : DataAccessKind::kExplicitRead});
+    m.comp.add_type({"C" + suffix,
+                     {Port{"in", iface.name, PortDirection::kRequired}},
+                     {consume}});
+
+    m.comp.add_instance({"p" + suffix, "P" + suffix});
+    m.comp.add_instance({"k" + suffix, "C" + suffix});
+    m.comp.add_connector({"p" + suffix, "out", "k" + suffix, "in"});
+    m.plan.instances["p" + suffix] = {.ecu = rng.index(2) == 0 ? "E0" : "E1"};
+    m.plan.instances["k" + suffix] = {.ecu = rng.index(2) == 0 ? "E0" : "E1"};
+  }
+  return m;
+}
+
+class ValidatorCompleteness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidatorCompleteness, CleanVerdictImpliesThrowFreeGeneration) {
+  Rng rng(GetParam());
+  auto m = random_vfb_model(rng);
+  const auto report = validation::validate(m.comp, m.plan);
+  ASSERT_FALSE(report.has_errors()) << report.render();
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  EXPECT_NO_THROW({
+    vfb::System sys(kernel, trace, m.comp, m.plan);
+    sys.run_for(milliseconds(50));
+  }) << "seed=" << GetParam();
+}
+
+TEST_P(ValidatorCompleteness, RejectedModelIsRejectedByStrictConstruction) {
+  Rng rng(GetParam());
+  auto m = random_vfb_model(rng);
+  // Inject one random defect the validator must catch.
+  switch (rng.index(4)) {
+    case 0:  // undeployed instance
+      m.plan.instances.erase(m.plan.instances.begin());
+      break;
+    case 1:  // dangling connector endpoint
+      m.comp.add_connector({"p0", "out", "ghost", "in"});
+      break;
+    case 2:  // reversed connector
+      m.comp.add_connector({"k0", "in", "p0", "out"});
+      break;
+    default:  // instance of an unknown type
+      m.comp.add_instance({"zombie", "NoSuchType"});
+      break;
+  }
+  const auto report = validation::validate(m.comp, m.plan);
+  EXPECT_TRUE(report.has_errors()) << "seed=" << GetParam();
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  EXPECT_THROW(vfb::System(kernel, trace, m.comp, m.plan),
+               std::invalid_argument)
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorCompleteness,
+                         ::testing::Range<std::uint64_t>(1, 21));
 
 }  // namespace
