@@ -13,15 +13,28 @@
 //   * TT table  — non-preemptive schedule-table synthesis with the same
 //                 dispatch overhead (the §1 "careful planning" alternative).
 // Also reported: the mean CPU inflation the enforcement overhead causes.
+//
+// Part 2 measures the *runtime-verification* overhead: the same generated
+// system simulated with the rv monitor layer off vs on. Monitors are trace
+// listeners, so they cost zero simulated time by construction — the table
+// shows the host-side wall-clock price of live contract checking.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/rta.hpp"
 #include "analysis/tt_schedule.hpp"
 #include "bench_util.hpp"
+#include "contracts/contract.hpp"
+#include "sim/kernel.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "vfb/model.hpp"
+#include "vfb/rte.hpp"
+#include "vfb/system.hpp"
 
 using namespace orte;
 using sim::milliseconds;
@@ -85,6 +98,128 @@ BandRow run_band(double u, int sets, std::uint64_t seed0) {
   return row;
 }
 
+// --- Part 2: runtime-verification monitor overhead ---------------------------
+
+/// Sensor->controller pipeline on one ECU: `sensors` periodic producers
+/// (1 ms period, contracted) each feeding one data-received consumer.
+vfb::Composition make_pipeline(int sensors) {
+  vfb::Composition model;
+  vfb::PortInterface ival;
+  ival.name = "IVal";
+  ival.elements.push_back(vfb::DataElement{"v", 32, 0, false});
+  model.add_interface(ival);
+
+  vfb::Runnable produce;
+  produce.name = "produce";
+  // 2 us execution keeps even the 64-pipeline ECU at U ~ 0.26: the clean
+  // pipeline must stay schedulable or the deadline monitors (correctly)
+  // report real misses.
+  produce.trigger = vfb::RunnableTrigger::timing(sim::milliseconds(1));
+  produce.execution_time = [] { return microseconds(2); };
+  produce.accesses.push_back({"out", "v", vfb::DataAccessKind::kExplicitWrite});
+  produce.behavior = [](vfb::RunnableContext& ctx) { ctx.write("out", "v", 1); };
+  model.add_type({"Sensor",
+                  {vfb::Port{"out", "IVal", vfb::PortDirection::kProvided}},
+                  {produce}});
+
+  vfb::Runnable consume;
+  consume.name = "consume";
+  consume.trigger = vfb::RunnableTrigger::data_received("in", "v");
+  consume.execution_time = [] { return microseconds(2); };
+  consume.accesses.push_back({"in", "v", vfb::DataAccessKind::kExplicitRead});
+  consume.behavior = [](vfb::RunnableContext& ctx) { (void)ctx.read("in", "v"); };
+  model.add_type({"Filter",
+                  {vfb::Port{"in", "IVal", vfb::PortDirection::kRequired}},
+                  {consume}});
+
+  for (int i = 0; i < sensors; ++i) {
+    const std::string s = "sensor" + std::to_string(i);
+    const std::string f = "filter" + std::to_string(i);
+    model.add_instance({s, "Sensor"});
+    model.add_instance({f, "Filter"});
+    model.add_connector({s, "out", f, "in"});
+    contracts::Contract c;
+    c.name = "C_" + s;
+    c.guarantees.push_back(
+        {.flow = "out.v", .timing = {.period = sim::milliseconds(1),
+                                     .jitter = sim::milliseconds(1),
+                                     .latency = sim::milliseconds(5)}});
+    model.bind_contract(s, c);
+    contracts::Contract cf;
+    cf.name = "C_" + f;
+    cf.assumptions.push_back(
+        {.flow = "in.v", .timing = {.latency = sim::milliseconds(5)}});
+    model.bind_contract(f, cf);
+  }
+  return model;
+}
+
+struct RvRun {
+  double wall_ms = 0;
+  std::size_t monitors = 0;
+  std::uint64_t routed = 0;
+  std::size_t violations = 0;
+};
+
+RvRun run_monitored(int sensors, bool rv_on, sim::Duration horizon) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  const vfb::Composition model = make_pipeline(sensors);
+  vfb::DeploymentPlan plan;
+  for (int i = 0; i < sensors; ++i) {
+    plan.instances["sensor" + std::to_string(i)] = {.ecu = "ecu"};
+    plan.instances["filter" + std::to_string(i)] = {.ecu = "ecu"};
+  }
+  plan.runtime_verification = rv_on;
+  vfb::System sys(kernel, trace, model, plan);
+  const bench::WallClock clock;
+  sys.run_for(horizon);
+  RvRun out;
+  out.wall_ms = clock.elapsed_ms();
+  if (sys.monitors() != nullptr) {
+    out.monitors = sys.monitors()->monitor_count();
+    out.routed = sys.monitors()->records_routed();
+    out.violations = sys.monitors()->health().total();
+  }
+  return out;
+}
+
+void run_rv_overhead() {
+  bench::print_title(
+      "E8b: runtime-verification overhead (10 simulated s, 1 kHz pipelines)");
+  bench::print_row({"pipelines", "monitors", "rv off ms", "rv on ms",
+                    "overhead %", "ns/record"});
+  bench::print_rule(6);
+  const auto horizon = sim::seconds(10);
+  for (int sensors : {1, 4, 16, 64}) {
+    // Warm-up + best-of-3 to tame allocator/cache noise.
+    double off = 1e300, on = 1e300;
+    RvRun last;
+    for (int rep = 0; rep < 3; ++rep) {
+      off = std::min(off, run_monitored(sensors, false, horizon).wall_ms);
+      last = run_monitored(sensors, true, horizon);
+      on = std::min(on, last.wall_ms);
+    }
+    const double overhead = off > 0 ? 100.0 * (on - off) / off : 0.0;
+    const double per_record =
+        last.routed > 0 ? 1e6 * (on - off) / static_cast<double>(last.routed)
+                        : 0.0;
+    bench::print_row({std::to_string(sensors), std::to_string(last.monitors),
+                      bench::fmt(off, 1), bench::fmt(on, 1),
+                      bench::fmt(overhead, 1), bench::fmt(per_record, 0)});
+    if (last.violations != 0) {
+      std::printf("  (unexpected: %zu violations in clean pipeline)\n",
+                  last.violations);
+    }
+  }
+  std::puts(
+      "\nMonitors run in trace-listener context: simulated time and event\n"
+      "order are bit-identical with rv on or off; the overhead above is\n"
+      "host-side wall clock only (one map lookup per record to route, plus\n"
+      "the per-monitor arithmetic for watched categories).");
+}
+
 }  // namespace
 
 int main() {
@@ -108,5 +243,6 @@ int main() {
       "prohibitive'. The non-preemptive TT table pays more (blocking), the\n"
       "price of its perfect timing isolation; at moderate loads all three\n"
       "admit everything.");
+  run_rv_overhead();
   return 0;
 }

@@ -37,6 +37,7 @@ void print_inventory() {
   std::puts("  Bus systems                src/can,flexray,ttp CAN 2.0A, FlexRay 2.1, TTP");
   std::puts("  NoC / MPSoC (sec. 4)       src/noc             TDMA NoC, CAN overlay");
   std::puts("  Rich components (sec. 3)   src/contracts       A/G contracts, dominance, TA");
+  std::puts("  Runtime verification       src/rv              online monitors, health, exporters");
   std::puts("  Timing analysis (sec. 3)   src/analysis        RTA, CAN/FlexRay, e2e, TT synth");
   std::puts("  Config classes             typed C++ config    pre-build (ctor) / post-build (plan)");
   std::puts("");

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "contracts/timed_automaton.hpp"
 #include "sim/time.hpp"
 
 namespace orte::contracts {
@@ -65,11 +66,30 @@ struct ResourceSpec {
   double confidence = 1.0;
 };
 
+/// Behavioural contract (§3 "extended automata model"): a timed automaton
+/// observing the component's flow events. Each binding maps a flow name
+/// ("port" or "port.element", same convention as FlowSpec) to the automaton
+/// label fired when that flow updates; `tick` scales automaton time units to
+/// simulation nanoseconds so the same automaton checks recorded words
+/// (run()) and live traces (rv::AutomatonMonitor).
+struct BehaviourSpec {
+  TimedAutomaton automaton;
+  struct LabelBinding {
+    std::string flow;
+    std::string label;
+  };
+  std::vector<LabelBinding> bindings;
+  Duration tick = 1;  ///< Simulation ns per automaton time unit.
+  double confidence = 1.0;
+};
+
 struct Contract {
   std::string name;
   std::vector<FlowSpec> assumptions;  ///< Indexed by input flow name.
   std::vector<FlowSpec> guarantees;   ///< Indexed by output flow name.
   ResourceSpec vertical;
+  /// Optional behavioural contract, enforced online by the rv layer.
+  std::optional<BehaviourSpec> behaviour;
 
   [[nodiscard]] const FlowSpec* assumption(std::string_view flow) const;
   [[nodiscard]] const FlowSpec* guarantee(std::string_view flow) const;

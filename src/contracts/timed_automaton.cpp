@@ -107,45 +107,46 @@ bool TimedAutomaton::error_reachable() const {
   return false;
 }
 
-TimedAutomaton::RunResult TimedAutomaton::run(
-    const std::vector<std::pair<std::int64_t, std::string>>& word) const {
-  RunResult result;
-  int loc = 0;
-  std::vector<std::int64_t> clocks(clock_names_.size(), 0);
-  for (std::size_t i = 0; i < word.size(); ++i) {
-    const auto& [delay, label] = word[i];
-    for (auto& c : clocks) c += delay;
-    const Edge* taken = nullptr;
-    for (const auto& e : edges_) {
-      if (e.from != loc || e.label != label) continue;
-      bool ok = true;
-      for (const auto& g : e.guards) {
-        if (!satisfied(g, clocks)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        taken = &e;
+bool TimedAutomaton::Stepper::step(std::int64_t delay,
+                                   std::string_view label) {
+  std::vector<std::int64_t> advanced = clocks_;
+  for (auto& c : advanced) c += delay;
+  const Edge* taken = nullptr;
+  for (const auto& e : ta_->edges_) {
+    if (e.from != location_ || e.label != label) continue;
+    bool ok = true;
+    for (const auto& g : e.guards) {
+      if (!ta_->satisfied(g, advanced)) {
+        ok = false;
         break;
       }
     }
-    if (taken == nullptr) {
-      result.accepted = false;
-      result.failed_at = i;
-      result.final_location = loc;
-      return result;
+    if (ok) {
+      taken = &e;
+      break;
     }
-    for (int r : taken->resets) clocks.at(static_cast<std::size_t>(r)) = 0;
-    loc = taken->to;
-    if (error_.at(static_cast<std::size_t>(loc))) {
+  }
+  if (taken == nullptr) return false;  // stuck: pre-event state kept
+  for (int r : taken->resets) advanced.at(static_cast<std::size_t>(r)) = 0;
+  clocks_ = std::move(advanced);
+  location_ = taken->to;
+  return !in_error();
+}
+
+TimedAutomaton::RunResult TimedAutomaton::run(
+    const std::vector<std::pair<std::int64_t, std::string>>& word) const {
+  RunResult result;
+  Stepper stepper(*this);
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const auto& [delay, label] = word[i];
+    if (!stepper.step(delay, label)) {
       result.accepted = false;
       result.failed_at = i;
-      result.final_location = loc;
+      result.final_location = stepper.location();
       return result;
     }
   }
-  result.final_location = loc;
+  result.final_location = stepper.location();
   return result;
 }
 

@@ -10,9 +10,11 @@
 //    (conformance: did every response happen within its deadline?).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace orte::contracts {
@@ -54,7 +56,40 @@ class TimedAutomaton {
   [[nodiscard]] RunResult run(
       const std::vector<std::pair<std::int64_t, std::string>>& word) const;
 
+  /// Incremental monitor state for online checking (the rv layer): feed one
+  /// (delay, label) event at a time. Feeding the events of a word one by one
+  /// is equivalent to run() over that word. The automaton must outlive the
+  /// stepper.
+  class Stepper {
+   public:
+    explicit Stepper(const TimedAutomaton& ta)
+        : ta_(&ta), clocks_(ta.clock_names_.size(), 0) {}
+
+    /// Advance time by `delay` units, then consume `label`. Returns false
+    /// when no enabled edge exists or an error location is entered; the
+    /// stepper stays in its pre-event state on a stuck event so the caller
+    /// can choose to reset() and keep monitoring.
+    bool step(std::int64_t delay, std::string_view label);
+
+    [[nodiscard]] int location() const { return location_; }
+    [[nodiscard]] bool in_error() const {
+      return ta_->error_.at(static_cast<std::size_t>(location_));
+    }
+
+    /// Back to the initial location with all clocks at zero.
+    void reset() {
+      location_ = 0;
+      std::fill(clocks_.begin(), clocks_.end(), 0);
+    }
+
+   private:
+    const TimedAutomaton* ta_;
+    int location_ = 0;
+    std::vector<std::int64_t> clocks_;
+  };
+
  private:
+  friend class Stepper;
   struct Edge {
     int from = 0;
     int to = 0;

@@ -2,45 +2,56 @@
 
 namespace orte::isolation {
 
-ContainmentMonitor::ContainmentMonitor(sim::Trace& trace) {
-  trace.subscribe([this](const sim::TraceRecord& rec) {
-    if (rec.category == "task.deadline_miss") {
-      ++misses_[rec.subject];
-    } else if (rec.category == "task.kill") {
-      ++kills_[rec.subject];
-    } else if (rec.category == "task.activation_lost") {
-      ++lost_[rec.subject];
+namespace {
+constexpr std::string_view kMiss = "task.deadline_miss";
+constexpr std::string_view kKill = "task.kill";
+constexpr std::string_view kLost = "task.activation_lost";
+}  // namespace
+
+ContainmentMonitor::ContainmentMonitor(const sim::Trace& trace)
+    : trace_(&trace), total_misses_at_start_(trace.count(kMiss)) {
+  const auto snapshot = [&trace](std::string_view category, Baseline& out) {
+    for (auto& [subject, count] : trace.subject_counts(category)) {
+      out.emplace(std::move(subject), count);
     }
-  });
+  };
+  snapshot(kMiss, misses_at_start_);
+  snapshot(kKill, kills_at_start_);
+  snapshot(kLost, lost_at_start_);
+}
+
+std::uint64_t ContainmentMonitor::delta(std::string_view category,
+                                        const Baseline& baseline,
+                                        std::string_view subject) const {
+  const std::uint64_t now = trace_->count(category, subject);
+  auto it = baseline.find(subject);
+  return now - (it == baseline.end() ? 0 : it->second);
 }
 
 std::uint64_t ContainmentMonitor::deadline_misses(std::string_view task) const {
-  auto it = misses_.find(std::string(task));
-  return it == misses_.end() ? 0 : it->second;
+  return delta(kMiss, misses_at_start_, task);
 }
 
 std::uint64_t ContainmentMonitor::kills(std::string_view task) const {
-  auto it = kills_.find(std::string(task));
-  return it == kills_.end() ? 0 : it->second;
+  return delta(kKill, kills_at_start_, task);
 }
 
 std::uint64_t ContainmentMonitor::activations_lost(
     std::string_view task) const {
-  auto it = lost_.find(std::string(task));
-  return it == lost_.end() ? 0 : it->second;
+  return delta(kLost, lost_at_start_, task);
 }
 
 std::uint64_t ContainmentMonitor::total_deadline_misses() const {
-  std::uint64_t n = 0;
-  for (const auto& [task, count] : misses_) n += count;
-  return n;
+  return trace_->count(kMiss) - total_misses_at_start_;
 }
 
 std::uint64_t ContainmentMonitor::victim_misses(
     std::string_view aggressor) const {
   std::uint64_t n = 0;
-  for (const auto& [task, count] : misses_) {
-    if (task.find(aggressor) == std::string::npos) n += count;
+  for (const auto& [task, count] : trace_->subject_counts(kMiss)) {
+    if (task.find(aggressor) != std::string::npos) continue;
+    auto it = misses_at_start_.find(task);
+    n += count - (it == misses_at_start_.end() ? 0 : it->second);
   }
   return n;
 }

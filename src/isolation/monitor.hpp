@@ -1,6 +1,12 @@
 // Containment monitor: classifies trace events per subject so experiments can
 // separate aggressor damage from victim damage (error containment = victims
 // unaffected while the aggressor is sanctioned).
+//
+// Implemented over the trace's incremental count index rather than a
+// listener: construction snapshots the per-subject counts as a baseline and
+// every query is "current index minus baseline". Semantics are unchanged
+// (only events from subscription time on count) but the monitor adds zero
+// per-record cost — the first consumer of the rv-style counting index.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +20,8 @@ namespace orte::isolation {
 
 class ContainmentMonitor {
  public:
-  /// Subscribes to the trace; only events from subscription time on count.
-  explicit ContainmentMonitor(sim::Trace& trace);
+  /// Snapshots the trace's counts; only events from this point on count.
+  explicit ContainmentMonitor(const sim::Trace& trace);
 
   [[nodiscard]] std::uint64_t deadline_misses(std::string_view task) const;
   [[nodiscard]] std::uint64_t kills(std::string_view task) const;
@@ -25,9 +31,16 @@ class ContainmentMonitor {
   [[nodiscard]] std::uint64_t victim_misses(std::string_view aggressor) const;
 
  private:
-  std::map<std::string, std::uint64_t> misses_;
-  std::map<std::string, std::uint64_t> kills_;
-  std::map<std::string, std::uint64_t> lost_;
+  using Baseline = std::map<std::string, std::uint64_t, std::less<>>;
+
+  std::uint64_t delta(std::string_view category, const Baseline& baseline,
+                      std::string_view subject) const;
+
+  const sim::Trace* trace_;
+  Baseline misses_at_start_;
+  Baseline kills_at_start_;
+  Baseline lost_at_start_;
+  std::uint64_t total_misses_at_start_ = 0;
 };
 
 }  // namespace orte::isolation

@@ -1,0 +1,58 @@
+#include "rv/health.hpp"
+
+#include <sstream>
+
+#include "sim/time.hpp"
+
+namespace orte::rv {
+
+void HealthReport::record(const Violation& v) {
+  violations_.push_back(v);
+  ++by_kind_[v.kind];
+  ++by_contract_[v.contract];
+}
+
+std::size_t HealthReport::count_kind(std::string_view kind) const {
+  auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0 : it->second;
+}
+
+std::size_t HealthReport::count_contract(std::string_view contract) const {
+  auto it = by_contract_.find(contract);
+  return it == by_contract_.end() ? 0 : it->second;
+}
+
+std::vector<Violation> HealthReport::for_contract(
+    std::string_view contract) const {
+  std::vector<Violation> out;
+  for (const auto& v : violations_) {
+    if (v.contract == contract) out.push_back(v);
+  }
+  return out;
+}
+
+std::string HealthReport::render() const {
+  std::ostringstream os;
+  if (healthy()) {
+    os << "health: OK (0 violations)\n";
+    return os.str();
+  }
+  os << "health: " << violations_.size() << " violation(s)\n";
+  for (const auto& v : violations_) {
+    os << "  [" << v.kind << "] " << v.contract << " @ " << v.subject
+       << ": observed " << v.observed << " vs bound " << v.bound << " at t="
+       << v.when << " ns (streak " << v.streak << ", confidence "
+       << v.confidence << ")";
+    if (!v.detail.empty()) os << " — " << v.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void HealthReport::clear() {
+  violations_.clear();
+  by_kind_.clear();
+  by_contract_.clear();
+}
+
+}  // namespace orte::rv

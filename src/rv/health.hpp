@@ -1,0 +1,60 @@
+// Runtime-verification verdicts (§3 executed at run time): a Violation is
+// the first-class record a monitor raises when an observed execution leaves
+// the envelope its contract promised; the HealthReport aggregates them into
+// a queryable per-run health state (the paper's "consistent and non
+// ambiguous error handling" applied to contract conformance).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace orte::rv {
+
+/// One observed contract violation. `streak` counts consecutive violating
+/// observations by the same monitor (confidence counter: a streak of 1 may
+/// be a transient; a long streak is a persistent fault worth escalating).
+struct Violation {
+  std::string contract;  ///< Contract id (or implicit rule id, "rm.<task>").
+  std::string subject;   ///< Subject path: flow key, task or instance name.
+  std::string kind;      ///< "period" | "jitter" | "deadline" | "response" |
+                         ///< "latency" | "automaton".
+  std::int64_t observed = 0;  ///< Measured value (ns for timing kinds).
+  std::int64_t bound = 0;     ///< Contracted bound it exceeded.
+  sim::Time when = 0;
+  std::uint64_t streak = 1;   ///< Consecutive violations from this monitor.
+  double confidence = 1.0;    ///< Confidence attached to the violated spec.
+  std::string detail;
+};
+
+/// Aggregated, queryable violation log for one run.
+class HealthReport {
+ public:
+  void record(const Violation& v);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t total() const { return violations_.size(); }
+  [[nodiscard]] bool healthy() const { return violations_.empty(); }
+  [[nodiscard]] std::size_t count_kind(std::string_view kind) const;
+  [[nodiscard]] std::size_t count_contract(std::string_view contract) const;
+  /// Violations of `contract`, in raise order.
+  [[nodiscard]] std::vector<Violation> for_contract(
+      std::string_view contract) const;
+  /// Human-readable one-line-per-violation summary (diagnosis, examples).
+  [[nodiscard]] std::string render() const;
+
+  void clear();
+
+ private:
+  std::vector<Violation> violations_;
+  std::map<std::string, std::size_t, std::less<>> by_kind_;
+  std::map<std::string, std::size_t, std::less<>> by_contract_;
+};
+
+}  // namespace orte::rv

@@ -1,0 +1,215 @@
+#include "rv/monitors.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace orte::rv {
+
+void Monitor::raise(Violation v) {
+  ++raised_;
+  if (sink_) sink_(v);
+}
+
+// --- ArrivalMonitor -----------------------------------------------------------
+
+ArrivalMonitor::ArrivalMonitor(ArrivalSpec spec)
+    : Monitor(spec.contract), spec_(std::move(spec)) {}
+
+std::vector<std::string> ArrivalMonitor::categories() const {
+  return {spec_.category};
+}
+
+void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
+  if (rec.subject != spec_.subject) return;
+  ++arrivals_;
+  const sim::Time prev = last_;
+  last_ = rec.when;
+  if (prev < 0 || spec_.period <= 0) return;
+  const sim::Duration interval = rec.when - prev;
+  const sim::Duration deviation = std::llabs(interval - spec_.period);
+  Violation v;
+  v.contract = contract_;
+  v.subject = spec_.subject;
+  v.when = rec.when;
+  v.confidence = spec_.confidence;
+  if (spec_.jitter > 0 && deviation > spec_.jitter) {
+    v.kind = "jitter";
+    v.observed = deviation;
+    v.bound = spec_.jitter;
+    v.detail = "inter-arrival " + std::to_string(interval) + " ns vs period " +
+               std::to_string(spec_.period) + " ns";
+  } else if (spec_.jitter <= 0 && interval > spec_.period) {
+    v.kind = "period";
+    v.observed = interval;
+    v.bound = spec_.period;
+  } else {
+    streak_ = 0;
+    return;
+  }
+  v.streak = ++streak_;
+  raise(std::move(v));
+}
+
+// --- DeadlineMonitor ----------------------------------------------------------
+
+DeadlineMonitor::DeadlineMonitor(DeadlineSpec spec)
+    : Monitor(spec.contract), spec_(std::move(spec)) {}
+
+std::vector<std::string> DeadlineMonitor::categories() const {
+  return {"task.deadline_miss", "task.complete"};
+}
+
+void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
+  if (rec.subject != spec_.task) return;
+  if (rec.category == "task.deadline_miss") {
+    Violation v;
+    v.contract = contract_;
+    v.subject = spec_.task;
+    v.kind = "deadline";
+    v.bound = spec_.deadline;
+    v.observed = spec_.deadline;  // the job is still running past the bound
+    v.when = rec.when;
+    v.streak = ++miss_streak_;
+    v.confidence = spec_.confidence;
+    raise(std::move(v));
+    return;
+  }
+  // task.complete: record value carries the response time in ns.
+  ++completions_;
+  if (rec.value <= spec_.deadline) miss_streak_ = 0;
+  if (spec_.response_bound > 0 && rec.value > spec_.response_bound) {
+    Violation v;
+    v.contract = contract_;
+    v.subject = spec_.task;
+    v.kind = "response";
+    v.observed = rec.value;
+    v.bound = spec_.response_bound;
+    v.when = rec.when;
+    v.confidence = spec_.confidence;
+    raise(std::move(v));
+  }
+}
+
+// --- LatencyMonitor -----------------------------------------------------------
+
+LatencyMonitor::LatencyMonitor(LatencySpec spec)
+    : Monitor(spec.contract), spec_(std::move(spec)) {}
+
+std::vector<std::string> LatencyMonitor::categories() const {
+  if (spec_.source_category == spec_.sink_category) {
+    return {spec_.source_category};
+  }
+  return {spec_.source_category, spec_.sink_category};
+}
+
+void LatencyMonitor::observe(const sim::TraceRecord& rec) {
+  if (rec.category == spec_.source_category &&
+      rec.subject == spec_.source_subject) {
+    in_flight_.push_back(rec.when);
+    if (in_flight_.size() > spec_.max_in_flight) {
+      // The sink fell behind by a full window: the oldest cause will never
+      // be matched — report the age it reached before dropping it.
+      Violation v;
+      v.contract = contract_;
+      v.subject = spec_.source_subject + " -> " + spec_.sink_subject;
+      v.kind = "latency";
+      v.observed = rec.when - in_flight_.front();
+      v.bound = spec_.bound;
+      v.when = rec.when;
+      v.streak = ++streak_;
+      v.confidence = spec_.confidence;
+      v.detail = "sink starved: dropped unmatched cause";
+      in_flight_.pop_front();
+      raise(std::move(v));
+    }
+    return;
+  }
+  if (rec.category != spec_.sink_category ||
+      rec.subject != spec_.sink_subject) {
+    return;
+  }
+  if (!spec_.sink_detail.empty() && rec.detail != spec_.sink_detail) return;
+  if (in_flight_.empty()) return;  // sink activity with no pending cause
+  const sim::Time cause = in_flight_.front();
+  in_flight_.pop_front();
+  const sim::Duration latency = rec.when - cause;
+  ++samples_;
+  if (latency > worst_) worst_ = latency;
+  if (spec_.bound > 0 && latency > spec_.bound) {
+    Violation v;
+    v.contract = contract_;
+    v.subject = spec_.source_subject + " -> " + spec_.sink_subject;
+    v.kind = "latency";
+    v.observed = latency;
+    v.bound = spec_.bound;
+    v.when = rec.when;
+    v.streak = ++streak_;
+    v.confidence = spec_.confidence;
+    raise(std::move(v));
+  } else {
+    streak_ = 0;
+  }
+}
+
+// --- AutomatonMonitor ---------------------------------------------------------
+
+AutomatonMonitor::AutomatonMonitor(AutomatonSpec spec)
+    : Monitor(spec.contract),
+      spec_(std::move(spec)),
+      stepper_(spec_.automaton) {}
+
+std::vector<std::string> AutomatonMonitor::categories() const {
+  std::vector<std::string> cats;
+  for (const auto& rule : spec_.labels) {
+    bool seen = false;
+    for (const auto& c : cats) {
+      if (c == rule.category) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) cats.push_back(rule.category);
+  }
+  return cats;
+}
+
+void AutomatonMonitor::observe(const sim::TraceRecord& rec) {
+  const AutomatonSpec::LabelRule* rule = nullptr;
+  for (const auto& r : spec_.labels) {
+    if (r.category == rec.category &&
+        (r.subject.empty() || r.subject == rec.subject)) {
+      rule = &r;
+      break;
+    }
+  }
+  if (rule == nullptr) return;
+  ++events_;
+  const sim::Duration tick = spec_.tick > 0 ? spec_.tick : 1;
+  const std::int64_t delay = (rec.when - last_event_) / tick;
+  last_event_ = rec.when;
+  const int before = stepper_.location();
+  if (stepper_.step(delay, rule->label)) {
+    streak_ = 0;
+    return;
+  }
+  Violation v;
+  v.contract = contract_;
+  v.subject = rec.subject;
+  v.kind = "automaton";
+  v.observed = delay;
+  v.bound = 0;
+  v.when = rec.when;
+  v.streak = ++streak_;
+  v.confidence = spec_.confidence;
+  v.detail = stepper_.in_error()
+                 ? "entered error location '" +
+                       spec_.automaton.location_name(stepper_.location()) + "'"
+                 : "event '" + rule->label + "' stuck in location '" +
+                       spec_.automaton.location_name(before) + "'";
+  // Self-heal: resume checking from the initial state so one glitch does
+  // not blind the observer for the rest of the run.
+  stepper_.reset();
+  raise(std::move(v));
+}
+
+}  // namespace orte::rv

@@ -1,0 +1,190 @@
+// Online contract monitors: each compiles one clause of a rich-component
+// contract (TimingSpec period/jitter, deadline, end-to-end latency, or a
+// behavioural timed automaton) into an incremental observer of the live
+// sim::Trace stream. Monitors never consume simulated time — they run in
+// trace-listener context, so attaching them cannot perturb the execution
+// they judge (the determinism requirement the experiments rest on).
+//
+// Nandi et al. (stochastic contracts for runtime checking) is the template:
+// design-time contract -> synthesized observer -> structured verdict.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "contracts/contract.hpp"
+#include "rv/health.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace orte::rv {
+
+/// Base of every online monitor. A monitor declares the trace categories it
+/// consumes; the MonitorRegistry routes matching records to observe() and
+/// receives raised violations through the bound sink.
+class Monitor {
+ public:
+  using Sink = std::function<void(const Violation&)>;
+
+  virtual ~Monitor() = default;
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Trace categories this monitor wants to see.
+  [[nodiscard]] virtual std::vector<std::string> categories() const = 0;
+  virtual void observe(const sim::TraceRecord& rec) = 0;
+
+  void bind(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] const std::string& contract() const { return contract_; }
+  [[nodiscard]] std::uint64_t raised() const { return raised_; }
+
+ protected:
+  explicit Monitor(std::string contract) : contract_(std::move(contract)) {}
+  void raise(Violation v);
+
+  std::string contract_;
+
+ private:
+  Sink sink_;
+  std::uint64_t raised_ = 0;
+};
+
+// --- Arrival-rate / jitter ----------------------------------------------------
+
+/// Watches the update stream of one flow (default: "rte.write" of a sender
+/// key) and checks every inter-arrival time against the contracted period
+/// and jitter: with jitter J > 0 the interval must stay in [P-J, P+J]; with
+/// J = 0 only late updates (interval > P) violate, since faster-than-
+/// promised updates refine the guarantee (contracts::satisfies semantics).
+struct ArrivalSpec {
+  std::string contract;
+  std::string subject;  ///< Trace subject to match (e.g. "pedal.pedal.stamp").
+  std::string category = "rte.write";
+  sim::Duration period = 0;  ///< Contracted update period (ns); 0 = skip.
+  sim::Duration jitter = 0;  ///< Allowed deviation from the period (ns).
+  double confidence = 1.0;
+};
+
+class ArrivalMonitor final : public Monitor {
+ public:
+  explicit ArrivalMonitor(ArrivalSpec spec);
+  [[nodiscard]] std::vector<std::string> categories() const override;
+  void observe(const sim::TraceRecord& rec) override;
+  [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  ArrivalSpec spec_;
+  sim::Time last_ = -1;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t streak_ = 0;
+};
+
+// --- Deadline / response time -------------------------------------------------
+
+/// Watches one task's lifecycle records: every "task.deadline_miss" raises a
+/// deadline violation, and, when an explicit response bound is configured,
+/// every "task.complete" whose response time (the record value) exceeds it
+/// raises a response violation — tighter-than-deadline latency guarantees
+/// are checkable without touching the OS layer.
+struct DeadlineSpec {
+  std::string contract;
+  std::string task;  ///< Generated task name ("tk|<instance>|...").
+  sim::Duration deadline = 0;        ///< Reported bound for miss records.
+  sim::Duration response_bound = 0;  ///< 0 = deadline-miss records only.
+  double confidence = 1.0;
+};
+
+class DeadlineMonitor final : public Monitor {
+ public:
+  explicit DeadlineMonitor(DeadlineSpec spec);
+  [[nodiscard]] std::vector<std::string> categories() const override;
+  void observe(const sim::TraceRecord& rec) override;
+  [[nodiscard]] std::uint64_t completions() const { return completions_; }
+
+ private:
+  DeadlineSpec spec_;
+  std::uint64_t completions_ = 0;
+  std::uint64_t miss_streak_ = 0;
+};
+
+// --- End-to-end chain latency -------------------------------------------------
+
+/// Measures producer-to-consumer latency over a cause-effect chain: source
+/// events (e.g. "rte.write" of the chain head's sender key) enqueue their
+/// timestamps; each sink event (e.g. "rte.runnable" of the chain tail)
+/// consumes the oldest pending timestamp — exact for 1:1 activation chains
+/// (data-received pipelines), conservative under sink overload because the
+/// oldest unconsumed cause keeps aging. The queue is bounded: when the sink
+/// falls more than `max_in_flight` events behind, the oldest cause is
+/// reported as a latency violation with the age it reached and dropped.
+struct LatencySpec {
+  std::string contract;
+  std::string source_subject;
+  std::string source_category = "rte.write";
+  std::string sink_subject;
+  std::string sink_category = "rte.runnable";
+  std::string sink_detail;  ///< Optional: also match record detail
+                            ///< (runnable name); empty = any.
+  sim::Duration bound = 0;  ///< Max pedal-to-actuator age (ns).
+  double confidence = 1.0;
+  std::size_t max_in_flight = 64;
+};
+
+class LatencyMonitor final : public Monitor {
+ public:
+  explicit LatencyMonitor(LatencySpec spec);
+  [[nodiscard]] std::vector<std::string> categories() const override;
+  void observe(const sim::TraceRecord& rec) override;
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] sim::Duration worst() const { return worst_; }
+
+ private:
+  LatencySpec spec_;
+  std::deque<sim::Time> in_flight_;
+  std::uint64_t samples_ = 0;
+  sim::Duration worst_ = 0;
+  std::uint64_t streak_ = 0;
+};
+
+// --- Behavioural timed automaton ---------------------------------------------
+
+/// Steps a contracts::TimedAutomaton against the live trace: label rules map
+/// (category, subject) records to automaton labels; each matching record
+/// advances the clocks by the elapsed simulation time (scaled by `tick`) and
+/// fires the first enabled edge. A stuck event or an entered error location
+/// raises an "automaton" violation; the observer then resets to the initial
+/// state so one glitch does not blind it for the rest of the run.
+struct AutomatonSpec {
+  std::string contract;
+  contracts::TimedAutomaton automaton;
+  struct LabelRule {
+    std::string category;
+    std::string subject;  ///< Empty = any subject.
+    std::string label;
+  };
+  std::vector<LabelRule> labels;
+  sim::Duration tick = 1;  ///< Simulation ns per automaton time unit.
+  double confidence = 1.0;
+};
+
+class AutomatonMonitor final : public Monitor {
+ public:
+  explicit AutomatonMonitor(AutomatonSpec spec);
+  [[nodiscard]] std::vector<std::string> categories() const override;
+  void observe(const sim::TraceRecord& rec) override;
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] int location() const { return stepper_.location(); }
+
+ private:
+  AutomatonSpec spec_;
+  contracts::TimedAutomaton::Stepper stepper_;
+  sim::Time last_event_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t streak_ = 0;
+};
+
+}  // namespace orte::rv

@@ -1,0 +1,138 @@
+#include "rv/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace orte::rv {
+
+std::uint32_t contract_dtc_code(std::string_view contract) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : contract) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>((h ^ (h >> 24)) & 0xFFFFFFu);
+}
+
+MonitorRegistry::MonitorRegistry(sim::Trace& trace) : trace_(trace) {
+  trace_.subscribe([this](const sim::TraceRecord& rec) {
+    auto it = by_category_.find(rec.category);
+    if (it == by_category_.end()) return;
+    ++records_routed_;
+    for (Monitor* m : it->second) m->observe(rec);
+  });
+}
+
+void MonitorRegistry::attach(Monitor& monitor) {
+  monitor.bind([this](const Violation& v) { handle(v); });
+  for (const auto& cat : monitor.categories()) {
+    by_category_[cat].push_back(&monitor);
+  }
+}
+
+ArrivalMonitor& MonitorRegistry::add_arrival(ArrivalSpec spec) {
+  auto m = std::make_unique<ArrivalMonitor>(std::move(spec));
+  ArrivalMonitor& ref = *m;
+  add(std::move(m));
+  return ref;
+}
+
+DeadlineMonitor& MonitorRegistry::add_deadline(DeadlineSpec spec) {
+  auto m = std::make_unique<DeadlineMonitor>(std::move(spec));
+  DeadlineMonitor& ref = *m;
+  add(std::move(m));
+  return ref;
+}
+
+LatencyMonitor& MonitorRegistry::add_latency(LatencySpec spec) {
+  auto m = std::make_unique<LatencyMonitor>(std::move(spec));
+  LatencyMonitor& ref = *m;
+  add(std::move(m));
+  return ref;
+}
+
+AutomatonMonitor& MonitorRegistry::add_automaton(AutomatonSpec spec) {
+  auto m = std::make_unique<AutomatonMonitor>(std::move(spec));
+  AutomatonMonitor& ref = *m;
+  add(std::move(m));
+  return ref;
+}
+
+void MonitorRegistry::add(std::unique_ptr<Monitor> monitor) {
+  attach(*monitor);
+  monitors_.push_back(std::move(monitor));
+}
+
+void MonitorRegistry::report_to(bsw::Dem& dem,
+                                std::int32_t debounce_threshold,
+                                std::uint32_t aging_cycles) {
+  dem_ = &dem;
+  dem_threshold_ = debounce_threshold;
+  dem_aging_ = aging_cycles;
+}
+
+void MonitorRegistry::escalate_to(bsw::ModeMachine& modes,
+                                  std::string degraded_mode,
+                                  std::size_t threshold) {
+  modes_ = &modes;
+  degraded_mode_ = std::move(degraded_mode);
+  escalation_threshold_ = threshold == 0 ? 1 : threshold;
+}
+
+void MonitorRegistry::quarantine_with(QuarantineHook hook) {
+  quarantine_ = std::move(hook);
+}
+
+void MonitorRegistry::on_violation(ViolationCallback cb) {
+  callbacks_.push_back(std::move(cb));
+}
+
+void MonitorRegistry::handle(const Violation& v) {
+  health_.record(v);
+
+  if (dem_ != nullptr) {
+    const std::string event = "rv." + v.contract;
+    if (dem_events_.insert(event).second) {
+      try {
+        dem_->add_event({event, dem_threshold_, dem_aging_,
+                         contract_dtc_code(v.contract)});
+      } catch (const std::invalid_argument&) {
+        // Already registered by the user (e.g. with a custom DTC code).
+      }
+    }
+    dem_->report(event, bsw::EventStatus::kFailed);
+  }
+
+  for (const auto& cb : callbacks_) cb(v);
+
+  // Escalation must be armed explicitly (escalate_to): the quarantine hook
+  // alone — pre-wired by vfb::System — must not sanction anyone unless the
+  // integrator opted into a degraded mode.
+  if (!escalated_ && modes_ != nullptr &&
+      health_.total() >= escalation_threshold_) {
+    escalated_ = true;
+    if (modes_ != nullptr) modes_->request(degraded_mode_);
+    if (quarantine_) {
+      // The offending instance is the first path segment of the subject
+      // ("instance.port.element" flow keys, "tk|instance|..." task names,
+      // or a bare instance name).
+      std::string instance = v.subject;
+      if (instance.rfind("tk|", 0) == 0) {
+        instance = instance.substr(3);
+        const auto bar = instance.find('|');
+        if (bar != std::string::npos) instance.resize(bar);
+      } else {
+        const auto dot = instance.find('.');
+        if (dot != std::string::npos) instance.resize(dot);
+      }
+      quarantine_(instance, v);
+    }
+  }
+}
+
+void MonitorRegistry::reset() {
+  health_.clear();
+  escalated_ = false;
+}
+
+}  // namespace orte::rv

@@ -1,0 +1,107 @@
+// MonitorRegistry: the fan-in point of the runtime-verification layer. It
+// subscribes ONE listener to the sim::Trace and routes each record to the
+// monitors interested in its category (an index, not a scan — cost per
+// record is one map lookup, zero for categories nobody watches).
+//
+// Violations flow three ways, mirroring §4's error-containment story:
+//  (a) recorded in the queryable HealthReport,
+//  (b) reported to bsw::Dem as failed events (auto-registered per contract)
+//      so DTCs debounce and mature exactly like any other monitored fault,
+//  (c) escalated: once the violation count reaches a threshold, a
+//      bsw::ModeMachine transition into a degraded mode is requested and an
+//      optional quarantine hook fires (vfb::System wires it to drop the
+//      offending SWC's outputs — graceful degradation, the runtime twin of
+//      the isolation layer's budget enforcement).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bsw/dem.hpp"
+#include "bsw/mode.hpp"
+#include "rv/health.hpp"
+#include "rv/monitors.hpp"
+#include "sim/trace.hpp"
+
+namespace orte::rv {
+
+class MonitorRegistry {
+ public:
+  using ViolationCallback = std::function<void(const Violation&)>;
+  /// Receives the instance/subject to sanction (from Violation::subject's
+  /// first path segment).
+  using QuarantineHook = std::function<void(const std::string& instance,
+                                            const Violation& cause)>;
+
+  explicit MonitorRegistry(sim::Trace& trace);
+  MonitorRegistry(const MonitorRegistry&) = delete;
+  MonitorRegistry& operator=(const MonitorRegistry&) = delete;
+
+  // --- Population -----------------------------------------------------------
+  ArrivalMonitor& add_arrival(ArrivalSpec spec);
+  DeadlineMonitor& add_deadline(DeadlineSpec spec);
+  LatencyMonitor& add_latency(LatencySpec spec);
+  AutomatonMonitor& add_automaton(AutomatonSpec spec);
+  void add(std::unique_ptr<Monitor> monitor);
+
+  // --- Escalation wiring ----------------------------------------------------
+  /// Report every violation as a failed DEM event "rv.<contract>"; events
+  /// are auto-registered on first use with the given debounce threshold, so
+  /// a DTC matures only after `debounce_threshold` violations.
+  void report_to(bsw::Dem& dem, std::int32_t debounce_threshold = 1,
+                 std::uint32_t aging_cycles = 3);
+  /// Request `degraded_mode` once the total violation count reaches
+  /// `threshold` (requested once; re-armed only by reset()).
+  void escalate_to(bsw::ModeMachine& modes, std::string degraded_mode,
+                   std::size_t threshold = 1);
+  /// Called with the offending instance when escalation triggers. Inert
+  /// until escalate_to() arms escalation (vfb::System pre-wires this hook;
+  /// sanctions need the integrator's explicit opt-in to a degraded mode).
+  void quarantine_with(QuarantineHook hook);
+  void on_violation(ViolationCallback cb);
+
+  // --- Queries --------------------------------------------------------------
+  [[nodiscard]] const HealthReport& health() const { return health_; }
+  [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
+  [[nodiscard]] std::uint64_t records_routed() const {
+    return records_routed_;
+  }
+  [[nodiscard]] bool escalated() const { return escalated_; }
+
+  /// Forget all recorded violations and re-arm escalation (monitors keep
+  /// their incremental state; use between operation cycles).
+  void reset();
+
+ private:
+  void attach(Monitor& monitor);
+  void handle(const Violation& v);
+
+  sim::Trace& trace_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  std::map<std::string, std::vector<Monitor*>, std::less<>> by_category_;
+  HealthReport health_;
+  std::vector<ViolationCallback> callbacks_;
+
+  bsw::Dem* dem_ = nullptr;
+  std::int32_t dem_threshold_ = 1;
+  std::uint32_t dem_aging_ = 3;
+  std::set<std::string, std::less<>> dem_events_;  ///< Auto-registered.
+  bsw::ModeMachine* modes_ = nullptr;
+  std::string degraded_mode_;
+  std::size_t escalation_threshold_ = 1;
+  bool escalated_ = false;
+  QuarantineHook quarantine_;
+  std::uint64_t records_routed_ = 0;
+};
+
+/// Stable 24-bit DTC code for a contract name (FNV-1a folded), so the same
+/// contract reports the same DTC across runs without a central registry.
+[[nodiscard]] std::uint32_t contract_dtc_code(std::string_view contract);
+
+}  // namespace orte::rv

@@ -1,0 +1,128 @@
+#include "rv/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace orte::rv {
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslash, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Nanoseconds -> trace_event microseconds with 3 decimals, deterministic.
+std::string us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<sim::TraceRecord>& records) {
+  // Stable tid per subject, in order of first appearance.
+  std::map<std::string, int> tids;
+  for (const auto& r : records) {
+    tids.try_emplace(r.subject, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const auto& [subject, tid] : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(subject) << "\"}}";
+  }
+  for (const auto& r : records) {
+    const int tid = tids.at(r.subject);
+    sep();
+    if (r.category == "task.complete" && r.value > 0 &&
+        r.value <= r.when) {
+      // Response span: activation (when - response) .. completion.
+      os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+         << us(r.when - r.value) << ",\"dur\":" << us(r.value)
+         << ",\"name\":\"" << json_escape(r.subject)
+         << "\",\"cat\":\"task\",\"args\":{\"response_ns\":" << r.value
+         << "}}";
+      continue;
+    }
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tid
+       << ",\"ts\":" << us(r.when) << ",\"name\":\""
+       << json_escape(r.category) << "\",\"cat\":\""
+       << json_escape(r.category) << "\",\"args\":{\"value\":" << r.value;
+    if (!r.detail.empty()) {
+      os << ",\"detail\":\"" << json_escape(r.detail) << "\"";
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_csv_histograms(const std::vector<sim::TraceRecord>& records) {
+  std::map<std::pair<std::string, std::string>, std::vector<std::int64_t>>
+      values;
+  for (const auto& r : records) {
+    values[{r.category, r.subject}].push_back(r.value);
+  }
+  std::ostringstream os;
+  os << "category,subject,count,min,mean,max,p50,p99\n";
+  for (auto& [key, vs] : values) {
+    std::sort(vs.begin(), vs.end());
+    std::int64_t sum = 0;
+    for (const auto v : vs) sum += v;
+    const auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p / 100.0 * static_cast<double>(vs.size() - 1) + 0.5);
+      return vs[std::min(idx, vs.size() - 1)];
+    };
+    os << key.first << "," << key.second << "," << vs.size() << ","
+       << vs.front() << ","
+       << static_cast<double>(sum) / static_cast<double>(vs.size()) << ","
+       << vs.back() << "," << pct(50) << "," << pct(99) << "\n";
+  }
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << content;
+}
+
+}  // namespace orte::rv

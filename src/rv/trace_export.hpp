@@ -1,0 +1,35 @@
+// Trace exporters: turn a retained sim::Trace into artifacts external tools
+// understand.
+//  * Chrome trace_event JSON (load in chrome://tracing or Perfetto): task
+//    executions become duration events (one lane per trace subject), every
+//    other record an instant event — any run opens in a timeline viewer.
+//  * CSV histograms: per (category, subject) count / min / mean / max /
+//    p50 / p99 over the record values, for spreadsheet-side analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace orte::rv {
+
+/// Chrome trace_event JSON ("JSON object format": {"traceEvents": [...]}).
+/// Timestamps are microseconds (fractional, from the ns simulation clock).
+/// Task response spans ("task.complete" records, whose value is the response
+/// time) become complete events (ph "X") covering activation..completion —
+/// preemption-safe, unlike B/E nesting; everything else becomes an instant
+/// event (ph "i"). Deterministic: output depends only on the records.
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<sim::TraceRecord>& records);
+
+/// CSV with header "category,subject,count,min,mean,max,p50,p99" (values in
+/// the records' native unit, one row per (category, subject), sorted).
+[[nodiscard]] std::string to_csv_histograms(
+    const std::vector<sim::TraceRecord>& records);
+
+/// Convenience: write either artifact to a file. Throws std::runtime_error
+/// when the file cannot be opened.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace orte::rv

@@ -1,11 +1,21 @@
-// Structured event trace. Observers (tests, benches) subscribe to categories;
-// records are also retained for post-run queries.
+// Structured event trace. Observers (tests, benches, runtime monitors)
+// subscribe to the live stream; records are also retained for post-run
+// queries when retention is on.
+//
+// Counting is O(log n) and allocation-free on the hot path: a
+// category -> count index (and a (category, subject) -> count index) is
+// maintained at emit time, so count() never scans the retained vector and
+// stays correct even with retention disabled. When nothing observes the
+// stream (no listeners, retention off) emit() skips building the record
+// entirely — long unobserved runs pay only the two index bumps.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -28,6 +38,8 @@ class Trace {
 
   void emit(Time when, std::string_view category, std::string_view subject,
             std::int64_t value = 0, std::string_view detail = {}) {
+    bump(category, subject);
+    if (listeners_.empty() && !retain_) return;  // no-observer fast path
     TraceRecord rec{when, std::string(category), std::string(subject), value,
                     std::string(detail)};
     for (const auto& l : listeners_) l(rec);
@@ -42,28 +54,74 @@ class Trace {
     return records_;
   }
 
+  /// Emissions in `category` since construction / the last clear(),
+  /// independent of retention.
   [[nodiscard]] std::size_t count(std::string_view category) const {
-    std::size_t n = 0;
-    for (const auto& r : records_) {
-      if (r.category == category) ++n;
-    }
-    return n;
+    auto it = category_counts_.find(category);
+    return it == category_counts_.end() ? 0 : it->second;
   }
 
   [[nodiscard]] std::size_t count(std::string_view category,
                                   std::string_view subject) const {
-    std::size_t n = 0;
-    for (const auto& r : records_) {
-      if (r.category == category && r.subject == subject) ++n;
-    }
-    return n;
+    auto it = subject_counts_.find(std::pair{category, subject});
+    return it == subject_counts_.end() ? 0 : it->second;
   }
 
-  void clear() { records_.clear(); }
+  /// Every (subject, count) pair recorded under `category`, in subject
+  /// order. Incremental consumers (isolation::ContainmentMonitor, rv
+  /// monitors) classify from this index instead of re-scanning records.
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>>
+  subject_counts(std::string_view category) const {
+    std::vector<std::pair<std::string, std::size_t>> out;
+    for (auto it = subject_counts_.lower_bound(
+             std::pair{category, std::string_view{}});
+         it != subject_counts_.end() && it->first.first == category; ++it) {
+      out.emplace_back(it->first.second, it->second);
+    }
+    return out;
+  }
+
+  /// Drops retained records AND resets the count indexes (counts always
+  /// describe the same window as records() when retention is on).
+  void clear() {
+    records_.clear();
+    category_counts_.clear();
+    subject_counts_.clear();
+  }
 
  private:
+  /// Transparent comparator for (category, subject) pair keys so lookups
+  /// work on string_view pairs without allocating.
+  struct PairLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    }
+  };
+
+  void bump(std::string_view category, std::string_view subject) {
+    auto cit = category_counts_.find(category);
+    if (cit == category_counts_.end()) {
+      category_counts_.emplace(std::string(category), 1);
+    } else {
+      ++cit->second;
+    }
+    auto sit = subject_counts_.find(std::pair{category, subject});
+    if (sit == subject_counts_.end()) {
+      subject_counts_.emplace(
+          std::pair{std::string(category), std::string(subject)}, 1);
+    } else {
+      ++sit->second;
+    }
+  }
+
   std::vector<Listener> listeners_;
   std::vector<TraceRecord> records_;
+  std::map<std::string, std::size_t, std::less<>> category_counts_;
+  std::map<std::pair<std::string, std::string>, std::size_t, PairLess>
+      subject_counts_;
   bool retain_ = true;
 };
 

@@ -882,13 +882,26 @@ Diagnostics Validator::run() const {
   return Pass(*model_, plan_, contracts_).run();
 }
 
+namespace {
+/// Contracts bound directly on the model (Composition::bind_contract) feed
+/// rule V7, so both enforcement points — this static pass and the rv layer's
+/// online monitors — check the same specification.
+Validator with_model_contracts(Validator v, const vfb::Composition& model) {
+  for (const auto& [instance, contract] : model.bound_contracts()) {
+    v.with_contract(instance, contract);
+  }
+  return v;
+}
+}  // namespace
+
 Diagnostics validate(const vfb::Composition& model) {
-  return Validator(model).run();
+  return with_model_contracts(Validator(model), model).run();
 }
 
 Diagnostics validate(const vfb::Composition& model,
                      const vfb::DeploymentPlan& plan) {
-  return Validator(model).with_deployment(plan).run();
+  return with_model_contracts(Validator(model).with_deployment(plan), model)
+      .run();
 }
 
 }  // namespace orte::validation

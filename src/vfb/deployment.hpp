@@ -60,6 +60,12 @@ struct DeploymentPlan {
   /// deliveries propagate promptly).
   int data_task_priority = 200;
   std::uint32_t can_base_id = 0x100;
+  /// Generate the runtime-verification layer (rv::MonitorRegistry): deadline
+  /// monitors for every generated task plus arrival/latency/automaton
+  /// monitors compiled from the model's bound contracts. Monitors are pure
+  /// observers (zero simulated-time cost); opt out to shed the host-side
+  /// dispatch overhead on monitoring-free measurement runs.
+  bool runtime_verification = true;
 };
 
 /// Task-numbering constants shared by the generator and the validator so the

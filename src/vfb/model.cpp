@@ -52,6 +52,11 @@ void Composition::set_operation_handler(std::string_view type,
   handlers_[key3(type, port, operation)] = std::move(handler);
 }
 
+void Composition::bind_contract(std::string instance,
+                                contracts::Contract contract) {
+  contracts_[std::move(instance)] = std::move(contract);
+}
+
 const PortInterface& Composition::interface(std::string_view name) const {
   auto it = interfaces_.find(name);
   if (it == interfaces_.end()) fail("unknown interface " + std::string(name));

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "contracts/contract.hpp"
 #include "sim/time.hpp"
 
 namespace orte::vfb {
@@ -151,6 +152,14 @@ class Composition {
                              std::string_view operation,
                              OperationHandler handler);
 
+  /// Bind a rich-component contract (§3) to an instance. Flow names follow
+  /// the validator convention: "port" (every element of the port) or
+  /// "port.element". Bound contracts are checked statically (validator rule
+  /// V7 on every connector) AND compiled into online monitors by
+  /// vfb::System / rv::MonitorRegistry — one specification, two enforcement
+  /// points. Re-binding an instance replaces its contract.
+  void bind_contract(std::string instance, contracts::Contract contract);
+
   /// Structural validation via validation::Validator (model-only rules).
   /// Throws std::invalid_argument carrying the full rendered report when any
   /// error-severity diagnostic is found; warnings and infos are tolerated.
@@ -177,6 +186,10 @@ class Composition {
     return instances_;
   }
   const std::vector<Connector>& connectors() const { return connectors_; }
+  const std::map<std::string, contracts::Contract, std::less<>>&
+  bound_contracts() const {
+    return contracts_;
+  }
   const std::map<std::string, PortInterface, std::less<>>& interfaces() const {
     return interfaces_;
   }
@@ -197,6 +210,7 @@ class Composition {
   std::vector<ComponentInstance> instances_;
   std::vector<Connector> connectors_;
   std::map<std::string, OperationHandler, std::less<>> handlers_;
+  std::map<std::string, contracts::Contract, std::less<>> contracts_;
 };
 
 }  // namespace orte::vfb

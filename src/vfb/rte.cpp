@@ -241,7 +241,29 @@ std::uint64_t Rte::context_call(const std::string& instance,
   return (*handler)(argument);
 }
 
+void Rte::quarantine(const std::string& instance) {
+  quarantined_.insert(instance);
+}
+
+void Rte::release(const std::string& instance) {
+  quarantined_.erase(instance);
+}
+
+bool Rte::is_quarantined(std::string_view instance) const {
+  return quarantined_.find(instance) != quarantined_.end();
+}
+
 void Rte::publish(const std::string& sender_key, std::uint64_t value) {
+  if (!quarantined_.empty()) {
+    const std::string_view instance =
+        std::string_view(sender_key).substr(0, sender_key.find('.'));
+    if (is_quarantined(instance)) {
+      ++quarantined_drops_;
+      trace_.emit(kernel_.now(), "rte.quarantine_drop", sender_key,
+                  static_cast<std::int64_t>(value));
+      return;
+    }
+  }
   trace_.emit(kernel_.now(), "rte.write", sender_key,
               static_cast<std::int64_t>(value));
   auto lit = local_routes_.find(sender_key);

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -95,6 +96,21 @@ class Rte {
   /// Execute the behavior and publish implicit writes (segment end).
   void run_behavior(const std::string& instance, const Runnable& runnable);
 
+  // --- Health management (graceful degradation, §1/§4) -----------------------
+  /// Quarantine an instance: its port writes are dropped at the RTE instead
+  /// of propagating (local routes and COM transmissions alike), so receivers
+  /// keep their last good value / init — the "fail silent at the component
+  /// boundary" containment reaction. Each drop emits an "rte.quarantine_drop"
+  /// trace record. Reads, calls, and already-delivered values are unaffected.
+  void quarantine(const std::string& instance);
+  /// Lift a quarantine (e.g. after a recovery mode transition).
+  void release(const std::string& instance);
+  [[nodiscard]] bool is_quarantined(std::string_view instance) const;
+  /// Writes suppressed by quarantine since construction.
+  [[nodiscard]] std::uint64_t quarantined_drops() const {
+    return quarantined_drops_;
+  }
+
   // --- Introspection ---------------------------------------------------------
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
@@ -151,10 +167,13 @@ class Rte {
   std::map<std::string, std::map<std::string, std::uint64_t>> implicit_in_;
   std::map<std::string, std::map<std::string, std::uint64_t>> implicit_out_;
 
+  std::set<std::string, std::less<>> quarantined_;
+
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t calls_ = 0;
   std::uint64_t overflows_ = 0;
+  std::uint64_t quarantined_drops_ = 0;
 };
 
 }  // namespace orte::vfb

@@ -361,6 +361,164 @@ void System::build() {
   }
 
   build_tasks();
+  if (plan_.runtime_verification) build_monitors();
+}
+
+std::vector<std::string> System::resolve_flow(const std::string& instance,
+                                              const std::string& flow) const {
+  // Flow naming follows the validator convention: "port" covers every element
+  // of the port's interface, "port.element" one element. Writes are traced
+  // under the *sender* key, so required-port flows resolve through the
+  // feeding connector to the producer's key. Unresolvable names yield {} —
+  // contracts may mention flows of ports a reduced deployment leaves
+  // unconnected, and a monitor on nothing is worse than no monitor.
+  const auto dot = flow.find('.');
+  const std::string port = dot == std::string::npos ? flow : flow.substr(0, dot);
+  const std::string element =
+      dot == std::string::npos ? std::string() : flow.substr(dot + 1);
+
+  const ComponentInstance* inst = model_.find_instance(instance);
+  if (inst == nullptr) return {};
+  const ComponentType* type = model_.find_type(inst->type);
+  if (type == nullptr) return {};
+  const Port* p = nullptr;
+  for (const auto& candidate : type->ports) {
+    if (candidate.name == port) p = &candidate;
+  }
+  if (p == nullptr) return {};
+  const PortInterface* iface = model_.find_interface(p->interface);
+  if (iface == nullptr || iface->kind != PortInterface::Kind::kSenderReceiver) {
+    return {};
+  }
+
+  std::string src_instance = instance;
+  std::string src_port = port;
+  if (p->direction == PortDirection::kRequired) {
+    const Connector* conn = model_.connection_to(instance, port);
+    if (conn == nullptr) return {};
+    src_instance = conn->from_instance;
+    src_port = conn->from_port;
+  }
+
+  std::vector<std::string> subjects;
+  for (const auto& elem : iface->elements) {
+    if (!element.empty() && elem.name != element) continue;
+    subjects.push_back(Rte::key(src_instance, src_port, elem.name));
+  }
+  return subjects;
+}
+
+void System::build_monitors() {
+  registry_ = std::make_unique<rv::MonitorRegistry>(trace_);
+
+  // Contract name per instance (for labelling the task deadline monitors).
+  std::map<std::string, std::string, std::less<>> contract_of;
+  for (const auto& [instance, contract] : model_.bound_contracts()) {
+    contract_of[instance] = contract.name;
+  }
+
+  // (1) Deadline monitors: one per generated task, bound = the activation
+  // period (the implicit AUTOSAR deadline). Event tasks keep a monitor too —
+  // deadline-miss records still surface when a budget/deadline is configured.
+  for (const auto& t : analyzed_tasks_) {
+    // Task names are "tk|<instance>|<period-or-runnable>".
+    std::string instance;
+    const auto bar = t.name.find('|');
+    if (bar != std::string::npos) {
+      const auto end = t.name.find('|', bar + 1);
+      instance = t.name.substr(bar + 1, end == std::string::npos
+                                            ? std::string::npos
+                                            : end - bar - 1);
+    }
+    rv::DeadlineSpec spec;
+    auto cit = contract_of.find(instance);
+    spec.contract = cit != contract_of.end() ? cit->second : t.name;
+    spec.task = t.name;
+    spec.deadline = t.period;
+    registry_->add_deadline(std::move(spec));
+  }
+
+  for (const auto& [instance, contract] : model_.bound_contracts()) {
+    // (2) Arrival monitors: every guarantee with a contracted period watches
+    // the instance's own output flow.
+    for (const auto& g : contract.guarantees) {
+      if (g.timing.period <= 0) continue;
+      for (const auto& subject : resolve_flow(instance, g.flow)) {
+        rv::ArrivalSpec spec;
+        spec.contract = contract.name;
+        spec.subject = subject;
+        spec.period = g.timing.period;
+        spec.jitter = g.timing.jitter;
+        spec.confidence = g.confidence;
+        registry_->add_arrival(std::move(spec));
+      }
+    }
+
+    // (3) Latency monitors: every assumption with a latency bound watches the
+    // chain from the feeding producer's write to this instance's consuming
+    // runnable activation.
+    for (const auto& a : contract.assumptions) {
+      if (a.timing.latency <= 0) continue;
+      const auto dot = a.flow.find('.');
+      const std::string port =
+          dot == std::string::npos ? a.flow : a.flow.substr(0, dot);
+      const std::string element =
+          dot == std::string::npos ? std::string() : a.flow.substr(dot + 1);
+      // The chain tail: the data-received runnable this flow activates (when
+      // one exists, its name disambiguates the "rte.runnable" records).
+      std::string sink_detail;
+      if (const ComponentInstance* inst = model_.find_instance(instance)) {
+        if (const ComponentType* type = model_.find_type(inst->type)) {
+          for (const auto& r : type->runnables) {
+            if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived &&
+                r.trigger.port == port &&
+                (element.empty() || r.trigger.element == element)) {
+              sink_detail = r.name;
+            }
+          }
+        }
+      }
+      for (const auto& subject : resolve_flow(instance, a.flow)) {
+        rv::LatencySpec spec;
+        spec.contract = contract.name;
+        spec.source_subject = subject;
+        spec.sink_subject = instance;
+        spec.sink_detail = sink_detail;
+        spec.bound = a.timing.latency;
+        spec.confidence = a.confidence;
+        registry_->add_latency(std::move(spec));
+      }
+    }
+
+    // (4) Behavioural contract: one automaton observer per instance, label
+    // rules compiled from the flow bindings.
+    if (contract.behaviour.has_value()) {
+      rv::AutomatonSpec spec;
+      spec.contract = contract.name;
+      spec.automaton = contract.behaviour->automaton;
+      spec.tick = contract.behaviour->tick;
+      spec.confidence = contract.behaviour->confidence;
+      for (const auto& binding : contract.behaviour->bindings) {
+        for (const auto& subject : resolve_flow(instance, binding.flow)) {
+          spec.labels.push_back({"rte.write", subject, binding.label});
+        }
+      }
+      if (!spec.labels.empty()) registry_->add_automaton(std::move(spec));
+    }
+  }
+
+  // Containment reaction: when escalation fires, silence the offending
+  // instance's outputs at its RTE.
+  registry_->quarantine_with(
+      [this](const std::string& instance, const rv::Violation&) {
+        if (plan_.instances.find(instance) != plan_.instances.end()) {
+          quarantine(instance);
+        }
+      });
+}
+
+void System::quarantine(const std::string& instance) {
+  ctx(deployment(instance).ecu).rte->quarantine(instance);
 }
 
 void System::build_tasks() {

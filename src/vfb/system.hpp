@@ -25,6 +25,7 @@
 #include "can/can_bus.hpp"
 #include "flexray/flexray_bus.hpp"
 #include "os/ecu.hpp"
+#include "rv/registry.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
 #include "vfb/deployment.hpp"
@@ -75,6 +76,18 @@ class System {
   }
   [[nodiscard]] std::size_t signal_count() const { return signal_count_; }
 
+  // --- Runtime verification (rv layer) ---------------------------------------
+  /// The monitor registry compiled from the model's bound contracts and the
+  /// generated tasks; null when the plan disables runtime_verification. The
+  /// registry arrives pre-populated (deadline monitors for every generated
+  /// task, arrival/latency/automaton monitors from contracts) with the
+  /// quarantine hook wired to this system's RTEs; callers attach escalation
+  /// via monitors()->report_to(dem) / escalate_to(modes, ...).
+  [[nodiscard]] rv::MonitorRegistry* monitors() { return registry_.get(); }
+  /// Drop all future port writes of `instance` at its RTE (containment
+  /// reaction; see Rte::quarantine). Safe for any deployed instance.
+  void quarantine(const std::string& instance);
+
  private:
   struct EcuCtx {
     std::unique_ptr<os::Ecu> ecu;
@@ -88,6 +101,11 @@ class System {
   void build_bus();
   void build_signals();
   void build_tasks();
+  void build_monitors();
+  /// Trace subjects ("rte.write" sender keys) a contract flow of `instance`
+  /// resolves to; empty when the flow names nothing routable.
+  std::vector<std::string> resolve_flow(const std::string& instance,
+                                        const std::string& flow) const;
   EcuCtx& ctx(const std::string& ecu_name);
   const InstanceDeployment& deployment(const std::string& instance) const;
   /// Summed WCET of the synchronous server operations `runnable` declares.
@@ -108,6 +126,7 @@ class System {
   std::vector<std::string> ecu_names_;
   std::unique_ptr<can::CanBus> can_;
   std::unique_ptr<flexray::FlexRayBus> flexray_;
+  std::unique_ptr<rv::MonitorRegistry> registry_;
   std::size_t signal_count_ = 0;
   bool started_ = false;
 

@@ -1,0 +1,607 @@
+// Runtime-verification layer: online monitors, health report, DEM/mode
+// escalation, trace exporters, and the vfb::System auto-population pass.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bsw/dem.hpp"
+#include "bsw/mode.hpp"
+#include "contracts/contract.hpp"
+#include "contracts/timed_automaton.hpp"
+#include "rv/health.hpp"
+#include "rv/monitors.hpp"
+#include "rv/registry.hpp"
+#include "rv/trace_export.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "vfb/model.hpp"
+#include "vfb/rte.hpp"
+#include "vfb/system.hpp"
+
+namespace {
+
+using namespace orte;
+
+// --- Monitor units (records fed straight through a Trace) --------------------
+
+TEST(ArrivalMonitor, LateUpdateViolatesPeriod) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C_Pedal",
+                   .subject = "pedal.pedal.stamp",
+                   .period = sim::milliseconds(5)});
+  trace.emit(0, "rte.write", "pedal.pedal.stamp");
+  trace.emit(sim::milliseconds(5), "rte.write", "pedal.pedal.stamp");
+  trace.emit(sim::milliseconds(12), "rte.write", "pedal.pedal.stamp");
+  // Other subjects in the same category are ignored.
+  trace.emit(sim::milliseconds(13), "rte.write", "other.port.elem");
+
+  ASSERT_EQ(reg.health().total(), 1u);
+  const rv::Violation& v = reg.health().violations().front();
+  EXPECT_EQ(v.contract, "C_Pedal");
+  EXPECT_EQ(v.kind, "period");
+  EXPECT_EQ(v.observed, sim::milliseconds(7));
+  EXPECT_EQ(v.bound, sim::milliseconds(5));
+  EXPECT_EQ(v.when, sim::milliseconds(12));
+}
+
+TEST(ArrivalMonitor, JitterBoundCatchesEarlyAndLate) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C",
+                   .subject = "s",
+                   .period = sim::milliseconds(5),
+                   .jitter = sim::milliseconds(1)});
+  trace.emit(0, "rte.write", "s");
+  trace.emit(sim::milliseconds(5), "rte.write", "s");   // nominal
+  trace.emit(sim::milliseconds(8), "rte.write", "s");   // 3 ms: 2 ms deviation
+  trace.emit(sim::milliseconds(11), "rte.write", "s");  // 3 ms: 2 ms deviation
+  trace.emit(sim::milliseconds(13), "rte.write", "s");  // 2 ms: 3 ms deviation
+  ASSERT_EQ(reg.health().total(), 3u);
+  EXPECT_EQ(reg.health().count_kind("jitter"), 3u);
+  EXPECT_EQ(reg.health().violations()[0].observed, sim::milliseconds(2));
+  EXPECT_EQ(reg.health().violations()[0].bound, sim::milliseconds(1));
+  // Consecutive violations grow the streak (confidence counter).
+  EXPECT_EQ(reg.health().violations()[2].streak, 3u);
+}
+
+TEST(ArrivalMonitor, FasterThanPromisedRefinesWithoutJitterBound) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C",
+                   .subject = "s",
+                   .period = sim::milliseconds(5)});
+  trace.emit(0, "rte.write", "s");
+  trace.emit(sim::milliseconds(2), "rte.write", "s");  // faster is fine
+  trace.emit(sim::milliseconds(4), "rte.write", "s");
+  EXPECT_TRUE(reg.health().healthy());
+}
+
+TEST(DeadlineMonitor, MissRecordsRaiseAndCompletionResetsStreak) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_deadline({.contract = "C_Brake",
+                    .task = "tk|brake|5000000",
+                    .deadline = sim::milliseconds(5)});
+  trace.emit(sim::milliseconds(5), "task.deadline_miss", "tk|brake|5000000");
+  trace.emit(sim::milliseconds(10), "task.deadline_miss", "tk|brake|5000000");
+  ASSERT_EQ(reg.health().total(), 2u);
+  EXPECT_EQ(reg.health().violations()[1].streak, 2u);
+  EXPECT_EQ(reg.health().violations()[1].kind, "deadline");
+  EXPECT_EQ(reg.health().violations()[1].bound, sim::milliseconds(5));
+  // In-bound completion resets the streak.
+  trace.emit(sim::milliseconds(14), "task.complete", "tk|brake|5000000",
+             sim::milliseconds(4));
+  trace.emit(sim::milliseconds(20), "task.deadline_miss", "tk|brake|5000000");
+  EXPECT_EQ(reg.health().violations()[2].streak, 1u);
+}
+
+TEST(DeadlineMonitor, ResponseBoundTighterThanDeadline) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_deadline({.contract = "C",
+                    .task = "t",
+                    .deadline = sim::milliseconds(10),
+                    .response_bound = sim::milliseconds(2)});
+  trace.emit(sim::milliseconds(5), "task.complete", "t", sim::milliseconds(1));
+  trace.emit(sim::milliseconds(15), "task.complete", "t", sim::milliseconds(3));
+  ASSERT_EQ(reg.health().total(), 1u);
+  EXPECT_EQ(reg.health().violations()[0].kind, "response");
+  EXPECT_EQ(reg.health().violations()[0].observed, sim::milliseconds(3));
+  EXPECT_EQ(reg.health().violations()[0].bound, sim::milliseconds(2));
+}
+
+TEST(LatencyMonitor, ChainLatencyOverBoundRaises) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  auto& m = reg.add_latency({.contract = "C_E2E",
+                             .source_subject = "pedal.pedal.stamp",
+                             .sink_subject = "brake",
+                             .sink_detail = "control",
+                             .bound = sim::milliseconds(1)});
+  trace.emit(0, "rte.write", "pedal.pedal.stamp");
+  trace.emit(sim::microseconds(500), "rte.runnable", "brake", 0, "control");
+  trace.emit(sim::milliseconds(5), "rte.write", "pedal.pedal.stamp");
+  // A different runnable of the sink instance does not consume the cause.
+  trace.emit(sim::milliseconds(6), "rte.runnable", "brake", 0, "housekeeping");
+  trace.emit(sim::milliseconds(7), "rte.runnable", "brake", 0, "control");
+  ASSERT_EQ(reg.health().total(), 1u);
+  EXPECT_EQ(reg.health().violations()[0].kind, "latency");
+  EXPECT_EQ(reg.health().violations()[0].observed, sim::milliseconds(2));
+  EXPECT_EQ(reg.health().violations()[0].subject,
+            "pedal.pedal.stamp -> brake");
+  EXPECT_EQ(m.samples(), 2u);
+  EXPECT_EQ(m.worst(), sim::milliseconds(2));
+}
+
+TEST(LatencyMonitor, StarvedSinkDropsOldestAndReports) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_latency({.contract = "C",
+                   .source_subject = "src",
+                   .sink_subject = "snk",
+                   .bound = sim::milliseconds(1),
+                   .max_in_flight = 2});
+  trace.emit(0, "rte.write", "src");
+  trace.emit(sim::milliseconds(1), "rte.write", "src");
+  trace.emit(sim::milliseconds(2), "rte.write", "src");  // window full
+  ASSERT_EQ(reg.health().total(), 1u);
+  EXPECT_EQ(reg.health().violations()[0].detail,
+            "sink starved: dropped unmatched cause");
+  EXPECT_EQ(reg.health().violations()[0].observed, sim::milliseconds(2));
+}
+
+TEST(AutomatonMonitor, LateResponseViolatesAndSelfHeals) {
+  // req -> rsp within 5 time units (tick = 1 ms).
+  contracts::TimedAutomaton ta;
+  const int idle = ta.add_location("idle");
+  const int wait = ta.add_location("wait");
+  const int c = ta.add_clock("c");
+  ta.add_edge(idle, wait, "req", {}, {c});
+  ta.add_edge(wait, idle, "rsp",
+              {{c, contracts::TimedAutomaton::Constraint::Op::kLe, 5}});
+
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  rv::AutomatonSpec spec;
+  spec.contract = "C_ReqRsp";
+  spec.automaton = ta;
+  spec.labels = {{"rte.write", "a.req.v", "req"}, {"rte.write", "b.rsp.v", "rsp"}};
+  spec.tick = sim::milliseconds(1);
+  auto& m = reg.add_automaton(std::move(spec));
+
+  trace.emit(0, "rte.write", "a.req.v");
+  trace.emit(sim::milliseconds(3), "rte.write", "b.rsp.v");  // in time
+  EXPECT_TRUE(reg.health().healthy());
+  trace.emit(sim::milliseconds(10), "rte.write", "a.req.v");
+  trace.emit(sim::milliseconds(20), "rte.write", "b.rsp.v");  // 10 > 5: stuck
+  ASSERT_EQ(reg.health().total(), 1u);
+  EXPECT_EQ(reg.health().violations()[0].kind, "automaton");
+  EXPECT_NE(reg.health().violations()[0].detail.find("stuck in location"),
+            std::string::npos);
+  // Self-heal: the observer resumed from the initial location.
+  EXPECT_EQ(m.location(), idle);
+  trace.emit(sim::milliseconds(21), "rte.write", "a.req.v");
+  trace.emit(sim::milliseconds(23), "rte.write", "b.rsp.v");
+  EXPECT_EQ(reg.health().total(), 1u);  // clean again
+  EXPECT_EQ(m.events(), 6u);
+}
+
+// --- HealthReport -------------------------------------------------------------
+
+TEST(HealthReport, QueriesAndRender) {
+  rv::HealthReport hr;
+  hr.record({.contract = "A", .subject = "s1", .kind = "period"});
+  hr.record({.contract = "A", .subject = "s2", .kind = "latency"});
+  hr.record({.contract = "B", .subject = "s3", .kind = "period"});
+  EXPECT_EQ(hr.total(), 3u);
+  EXPECT_FALSE(hr.healthy());
+  EXPECT_EQ(hr.count_kind("period"), 2u);
+  EXPECT_EQ(hr.count_contract("A"), 2u);
+  EXPECT_EQ(hr.for_contract("B").size(), 1u);
+  const std::string text = hr.render();
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("period"), std::string::npos);
+  hr.clear();
+  EXPECT_TRUE(hr.healthy());
+  EXPECT_EQ(hr.count_kind("period"), 0u);
+}
+
+// --- Registry escalation ------------------------------------------------------
+
+TEST(MonitorRegistry, ViolationsMatureDtcInDem) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::Dem dem(kernel, trace);
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C_Pedal",
+                   .subject = "s",
+                   .period = sim::milliseconds(5)});
+  reg.report_to(dem, /*debounce_threshold=*/2);
+
+  trace.emit(0, "rte.write", "s");
+  trace.emit(sim::milliseconds(8), "rte.write", "s");  // 1st violation
+  EXPECT_FALSE(dem.dtc("rv.C_Pedal").has_value());     // still debouncing
+  trace.emit(sim::milliseconds(16), "rte.write", "s");  // 2nd: latches
+  ASSERT_TRUE(dem.dtc("rv.C_Pedal").has_value());
+  EXPECT_EQ(dem.dtc("rv.C_Pedal")->code, rv::contract_dtc_code("C_Pedal"));
+  EXPECT_TRUE(dem.is_failed("rv.C_Pedal"));
+}
+
+TEST(MonitorRegistry, EscalatesToDegradedModeAndQuarantines) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C",
+                   .subject = "pedal.pedal.stamp",
+                   .period = sim::milliseconds(5)});
+  std::vector<std::string> quarantined;
+  reg.quarantine_with([&](const std::string& instance, const rv::Violation&) {
+    quarantined.push_back(instance);
+  });
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/2);
+
+  trace.emit(0, "rte.write", "pedal.pedal.stamp");
+  trace.emit(sim::milliseconds(8), "rte.write", "pedal.pedal.stamp");
+  EXPECT_FALSE(reg.escalated());
+  EXPECT_TRUE(modes.in("RUN"));
+  trace.emit(sim::milliseconds(16), "rte.write", "pedal.pedal.stamp");
+  EXPECT_TRUE(reg.escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+  // The hook receives the first path segment of the violating subject.
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], "pedal");
+  // reset() re-arms escalation but ModeMachine state is the integrator's.
+  reg.reset();
+  EXPECT_FALSE(reg.escalated());
+  EXPECT_TRUE(reg.health().healthy());
+}
+
+TEST(MonitorRegistry, QuarantineHookAloneStaysInert) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C", .subject = "s",
+                   .period = sim::milliseconds(5)});
+  bool fired = false;
+  reg.quarantine_with(
+      [&](const std::string&, const rv::Violation&) { fired = true; });
+  trace.emit(0, "rte.write", "s");
+  trace.emit(sim::milliseconds(9), "rte.write", "s");
+  EXPECT_EQ(reg.health().total(), 1u);
+  EXPECT_FALSE(fired);  // no escalate_to: sanctions need explicit opt-in
+  EXPECT_FALSE(reg.escalated());
+}
+
+TEST(MonitorRegistry, RoutesOnlyWatchedCategories) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C", .subject = "s",
+                   .period = sim::milliseconds(5)});
+  trace.emit(0, "rte.write", "s");
+  trace.emit(1, "task.start", "t");
+  trace.emit(2, "can.tx", "frame");
+  EXPECT_EQ(reg.records_routed(), 1u);
+  EXPECT_EQ(reg.monitor_count(), 1u);
+}
+
+TEST(ContractDtcCode, StableAndDistinct) {
+  const auto a = rv::contract_dtc_code("C_Pedal");
+  EXPECT_EQ(a, rv::contract_dtc_code("C_Pedal"));
+  EXPECT_LE(a, 0xFFFFFFu);
+  EXPECT_NE(a, rv::contract_dtc_code("C_Brake"));
+}
+
+// --- vfb::System auto-population ---------------------------------------------
+
+namespace bbw {
+
+/// Brake-by-wire-like single-ECU model: pedal sensor (timing runnable) ->
+/// brake controller (data-received). `sensor_period` is the *implemented*
+/// sampling period; the bound contract always promises 5 ms.
+vfb::Composition make_model(sim::Duration sensor_period) {
+  vfb::Composition model;
+
+  vfb::PortInterface ipedal;
+  ipedal.name = "IPedal";
+  ipedal.elements.push_back(vfb::DataElement{"stamp", 64, 0, false});
+  model.add_interface(ipedal);
+
+  vfb::Runnable sample;
+  sample.name = "sample";
+  sample.trigger = vfb::RunnableTrigger::timing(sensor_period);
+  sample.execution_time = [] { return sim::microseconds(100); };
+  sample.accesses.push_back(
+      {"pedal", "stamp", vfb::DataAccessKind::kExplicitWrite});
+  sample.behavior = [](vfb::RunnableContext& ctx) {
+    ctx.write("pedal", "stamp", static_cast<std::uint64_t>(ctx.now()));
+  };
+  model.add_type({"PedalSensor",
+                  {vfb::Port{"pedal", "IPedal", vfb::PortDirection::kProvided}},
+                  {sample}});
+
+  vfb::Runnable control;
+  control.name = "control";
+  control.trigger = vfb::RunnableTrigger::data_received("pedal", "stamp");
+  control.execution_time = [] { return sim::microseconds(300); };
+  control.accesses.push_back(
+      {"pedal", "stamp", vfb::DataAccessKind::kExplicitRead});
+  control.behavior = [](vfb::RunnableContext& ctx) {
+    (void)ctx.read("pedal", "stamp");
+  };
+  model.add_type(
+      {"BrakeController",
+       {vfb::Port{"pedal", "IPedal", vfb::PortDirection::kRequired}},
+       {control}});
+
+  model.add_instance({"pedal", "PedalSensor"});
+  model.add_instance({"brake", "BrakeController"});
+  model.add_connector({"pedal", "pedal", "brake", "pedal"});
+
+  // The rich-component contract: pedal promises a fresh sample every 5 ms at
+  // most 2 ms old; brake assumes its input is at most 2 ms old. The pair
+  // passes the static V7 compatibility check (guarantee implies assumption) —
+  // only the *implementation* may drift from the promise, which is exactly
+  // what the online monitors catch.
+  contracts::Contract pedal_contract;
+  pedal_contract.name = "C_Pedal";
+  pedal_contract.guarantees.push_back(
+      {.flow = "pedal.stamp",
+       .timing = {.period = sim::milliseconds(5),
+                  .latency = sim::milliseconds(2)}});
+  model.bind_contract("pedal", pedal_contract);
+
+  contracts::Contract brake_contract;
+  brake_contract.name = "C_Brake";
+  brake_contract.assumptions.push_back(
+      {.flow = "pedal.stamp", .timing = {.latency = sim::milliseconds(2)}});
+  model.bind_contract("brake", brake_contract);
+
+  return model;
+}
+
+vfb::DeploymentPlan make_plan() {
+  vfb::DeploymentPlan plan;
+  plan.instances["pedal"] = {.ecu = "ecu"};
+  plan.instances["brake"] = {.ecu = "ecu"};
+  return plan;
+}
+
+}  // namespace bbw
+
+TEST(SystemRv, CleanRunProducesZeroViolations) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  const vfb::Composition model = bbw::make_model(sim::milliseconds(5));
+  vfb::System sys(kernel, trace, model, bbw::make_plan());
+
+  ASSERT_NE(sys.monitors(), nullptr);
+  // 2 deadline (pedal periodic task + brake event task), 1 arrival from
+  // C_Pedal's guarantee, 1 latency from C_Brake's assumption.
+  EXPECT_EQ(sys.monitors()->monitor_count(), 4u);
+  sys.run_for(sim::seconds(1));
+  EXPECT_TRUE(sys.monitors()->health().healthy());
+  EXPECT_GT(sys.monitors()->records_routed(), 0u);
+}
+
+TEST(SystemRv, LateSensorMaturesDtcSwitchesModeAndQuarantines) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  // Implemented period 7 ms vs contracted 5 ms: statically invisible (the
+  // validator compares contracts to contracts), caught online.
+  const vfb::Composition model = bbw::make_model(sim::milliseconds(7));
+  vfb::System sys(kernel, trace, model, bbw::make_plan());
+
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  sys.monitors()->report_to(dem, /*debounce_threshold=*/3);
+  sys.monitors()->escalate_to(modes, "DEGRADED", /*threshold=*/3);
+
+  sys.run_for(sim::seconds(1));
+
+  // The violation names the contract and the broken bound.
+  ASSERT_FALSE(sys.monitors()->health().healthy());
+  const rv::Violation& v = sys.monitors()->health().violations().front();
+  EXPECT_EQ(v.contract, "C_Pedal");
+  EXPECT_EQ(v.kind, "period");
+  EXPECT_EQ(v.bound, sim::milliseconds(5));
+  EXPECT_EQ(v.observed, sim::milliseconds(7));
+  EXPECT_EQ(v.subject, "pedal.pedal.stamp");
+
+  // DEM matured a DTC for the contract.
+  ASSERT_TRUE(dem.dtc("rv.C_Pedal").has_value());
+  EXPECT_EQ(dem.dtc("rv.C_Pedal")->code, rv::contract_dtc_code("C_Pedal"));
+
+  // Escalation: degraded mode + the offending SWC silenced at its RTE.
+  EXPECT_TRUE(modes.in("DEGRADED"));
+  EXPECT_TRUE(sys.rte("ecu").is_quarantined("pedal"));
+  EXPECT_GT(sys.rte("ecu").quarantined_drops(), 0u);
+  EXPECT_GT(trace.count("rte.quarantine_drop", "pedal.pedal.stamp"), 0u);
+}
+
+TEST(SystemRv, PlanFlagDisablesTheLayer) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  const vfb::Composition model = bbw::make_model(sim::milliseconds(5));
+  vfb::DeploymentPlan plan = bbw::make_plan();
+  plan.runtime_verification = false;
+  vfb::System sys(kernel, trace, model, plan);
+  EXPECT_EQ(sys.monitors(), nullptr);
+}
+
+// --- Rte quarantine -----------------------------------------------------------
+
+TEST(RteQuarantine, ReleaseRestoresDelivery) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  const vfb::Composition model = bbw::make_model(sim::milliseconds(5));
+  vfb::System sys(kernel, trace, model, bbw::make_plan());
+  sys.run_for(sim::milliseconds(20));
+  const auto writes_before = trace.count("rte.write", "pedal.pedal.stamp");
+  EXPECT_GT(writes_before, 0u);
+
+  sys.quarantine("pedal");
+  sys.run_for(sim::milliseconds(20));
+  EXPECT_EQ(trace.count("rte.write", "pedal.pedal.stamp"), writes_before);
+  EXPECT_GT(sys.rte("ecu").quarantined_drops(), 0u);
+
+  sys.rte("ecu").release("pedal");
+  EXPECT_FALSE(sys.rte("ecu").is_quarantined("pedal"));
+  sys.run_for(sim::milliseconds(20));
+  EXPECT_GT(trace.count("rte.write", "pedal.pedal.stamp"), writes_before);
+}
+
+// --- Trace exporters ----------------------------------------------------------
+
+/// Minimal JSON parser (objects, arrays, strings with escapes, numbers,
+/// true/false/null) used to schema-check the Chrome trace export.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TraceExport, ChromeTraceIsValidJsonWithExpectedEvents) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  const vfb::Composition model = bbw::make_model(sim::milliseconds(5));
+  vfb::System sys(kernel, trace, model, bbw::make_plan());
+  sys.run_for(sim::milliseconds(50));
+
+  const std::string json = rv::to_chrome_trace(trace.records());
+  EXPECT_TRUE(MiniJson(json).parse()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Task completions become complete events with a duration.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Everything else becomes instants; subjects get thread_name metadata.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("pedal.pedal.stamp"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeTraceEscapesDetails) {
+  std::vector<sim::TraceRecord> records;
+  records.push_back({5, "cat", "sub\"ject", 1, "line\nbreak\t\"quoted\""});
+  const std::string json = rv::to_chrome_trace(records);
+  EXPECT_TRUE(MiniJson(json).parse()) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(TraceExport, CsvHistogramsAggregatePerSubject) {
+  std::vector<sim::TraceRecord> records;
+  records.push_back({0, "task.complete", "t1", 10, ""});
+  records.push_back({1, "task.complete", "t1", 30, ""});
+  records.push_back({2, "task.complete", "t1", 20, ""});
+  records.push_back({3, "rte.write", "k", 5, ""});
+  const std::string csv = rv::to_csv_histograms(records);
+  EXPECT_NE(csv.find("category,subject,count,min,mean,max,p50,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("task.complete,t1,3,10,20,30,20,30"), std::string::npos);
+  EXPECT_NE(csv.find("rte.write,k,1,5,5,5,5,5"), std::string::npos);
+}
+
+}  // namespace

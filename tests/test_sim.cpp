@@ -1,6 +1,7 @@
 // Unit tests: discrete-event kernel, RNG, statistics, trace.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/kernel.hpp"
@@ -330,6 +331,94 @@ TEST(Trace, RetentionCanBeDisabled) {
   t.enable_retention(false);
   t.emit(1, "x", "y");
   EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, CountsWorkWithRetentionDisabled) {
+  Trace t;
+  t.enable_retention(false);
+  t.emit(1, "cat", "a");
+  t.emit(2, "cat", "a");
+  t.emit(3, "cat", "b");
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.count("cat"), 3u);
+  EXPECT_EQ(t.count("cat", "a"), 2u);
+  EXPECT_EQ(t.count("cat", "b"), 1u);
+}
+
+TEST(Trace, ListenersRunInSubscriptionOrder) {
+  Trace t;
+  std::vector<int> order;
+  t.subscribe([&](const TraceRecord&) { order.push_back(1); });
+  t.subscribe([&](const TraceRecord&) { order.push_back(2); });
+  t.subscribe([&](const TraceRecord&) { order.push_back(3); });
+  t.emit(1, "cat", "s");
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Trace, RetentionToggleMidRunKeepsCounting) {
+  Trace t;
+  t.emit(1, "cat", "s");
+  t.enable_retention(false);
+  t.emit(2, "cat", "s");
+  t.emit(3, "cat", "s");
+  t.enable_retention(true);
+  t.emit(4, "cat", "s");
+  // Records cover only the retained windows; counts cover everything.
+  EXPECT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records().front().when, 1);
+  EXPECT_EQ(t.records().back().when, 4);
+  EXPECT_EQ(t.count("cat", "s"), 4u);
+}
+
+TEST(Trace, UnobservedEmitsStillCount) {
+  // No listeners, retention off: emit() takes the fast path that skips
+  // building the record, but the count indexes must still advance.
+  Trace t;
+  t.enable_retention(false);
+  for (int i = 0; i < 100; ++i) t.emit(i, "fast", "path");
+  EXPECT_EQ(t.count("fast"), 100u);
+  EXPECT_EQ(t.count("fast", "path"), 100u);
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, SubjectCountsEnumeratesOneCategory) {
+  Trace t;
+  t.emit(1, "cat.a", "y");
+  t.emit(2, "cat.a", "x");
+  t.emit(3, "cat.a", "y");
+  t.emit(4, "cat.b", "z");
+  const auto counts = t.subject_counts("cat.a");
+  ASSERT_EQ(counts.size(), 2u);  // cat.b's subject excluded
+  EXPECT_EQ(counts[0].first, "x");
+  EXPECT_EQ(counts[0].second, 1u);
+  EXPECT_EQ(counts[1].first, "y");
+  EXPECT_EQ(counts[1].second, 2u);
+  EXPECT_TRUE(t.subject_counts("cat.none").empty());
+}
+
+TEST(Trace, CountsSurviveMove) {
+  Trace t;
+  t.emit(1, "cat", "s");
+  t.emit(2, "cat", "s");
+  Trace moved = std::move(t);
+  EXPECT_EQ(moved.count("cat"), 2u);
+  EXPECT_EQ(moved.count("cat", "s"), 2u);
+  EXPECT_EQ(moved.records().size(), 2u);
+  moved.emit(3, "cat", "s");
+  EXPECT_EQ(moved.count("cat"), 3u);
+}
+
+TEST(Trace, ClearResetsRecordsAndCounts) {
+  Trace t;
+  t.emit(1, "cat", "s");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.count("cat"), 0u);
+  EXPECT_EQ(t.count("cat", "s"), 0u);
+  EXPECT_TRUE(t.subject_counts("cat").empty());
+  t.emit(2, "cat", "s");
+  EXPECT_EQ(t.count("cat"), 1u);
 }
 
 }  // namespace
