@@ -160,6 +160,7 @@ LossResult run_loss(bool queued) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("a1_rte_semantics");
   bench::print_title("A1a: data consistency — explicit vs implicit access");
   bench::print_row({"read semantics", "pair reads", "torn pairs", "torn %"});
   bench::print_rule(4);
@@ -172,6 +173,14 @@ int main() {
     bench::print_row({"implicit (snapshot)", bench::fmt_u(im.reads),
                       bench::fmt_u(im.torn),
                       bench::fmt(100.0 * im.torn / im.reads, 1)});
+    report.row("a1a_consistency")
+        .str("semantics", "explicit")
+        .num_u("reads", ex.reads)
+        .num_u("torn", ex.torn);
+    report.row("a1a_consistency")
+        .str("semantics", "implicit")
+        .num_u("reads", im.reads)
+        .num_u("torn", im.torn);
   }
 
   bench::print_title("A1b: update loss — last-is-best vs queued elements");
@@ -186,6 +195,14 @@ int main() {
     bench::print_row(
         {"queued (FIFO)", bench::fmt_u(q.produced), bench::fmt_u(q.consumed),
          bench::fmt(100.0 * (q.produced - q.consumed) / q.produced, 1)});
+    report.row("a1b_update_loss")
+        .str("semantics", "last_is_best")
+        .num_u("produced", lb.produced)
+        .num_u("consumed", lb.consumed);
+    report.row("a1b_update_loss")
+        .str("semantics", "queued")
+        .num_u("produced", q.produced)
+        .num_u("consumed", q.consumed);
   }
   std::puts(
       "\nAblation verdict: implicit access eliminates torn multi-element\n"

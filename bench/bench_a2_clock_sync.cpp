@@ -67,18 +67,26 @@ int main() {
       {"sync @ 1 ms, 100 ppm", true, 100, milliseconds(1)},
       {"sync @ 10 ms, 20 ppm", true, 20, milliseconds(10)},
   };
+  bench::JsonReport report("a2_clock_sync");
   for (const auto& c : cases) {
     const double theory =
         c.sync ? 2.0 * c.ppm * 1e-6 * sim::to_us(c.resync) + 1.0 : -1.0;
-    bench::print_row({c.label, bench::fmt(run_case(c.sync, c.ppm, c.resync,
-                                                   false),
-                                          2),
+    const double precision = run_case(c.sync, c.ppm, c.resync, false);
+    bench::print_row({c.label, bench::fmt(precision, 2),
                       theory < 0 ? "unbounded" : bench::fmt(theory, 2)});
+    report.row("a2_precision")
+        .str("configuration", c.label)
+        .num("precision_us", precision)
+        .num("theory_us", theory);
   }
   bench::print_rule(3);
-  bench::print_row({"sync @ 10 ms + byzantine node",
-                    bench::fmt(run_case(true, 100, milliseconds(10), true), 2),
+  const double byz = run_case(true, 100, milliseconds(10), true);
+  bench::print_row({"sync @ 10 ms + byzantine node", bench::fmt(byz, 2),
                     "healthy subset"});
+  report.row("a2_precision")
+      .str("configuration", "sync @ 10 ms + byzantine node")
+      .num("precision_us", byz)
+      .num("theory_us", -1.0);
   std::puts(
       "\nAblation verdict: synchronized precision tracks the 2*rho*R + eps\n"
       "envelope (tighter resync or better crystals buy proportionally finer\n"

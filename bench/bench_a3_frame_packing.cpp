@@ -44,6 +44,7 @@ int main() {
   bench::print_row({"signals", "naive frames", "naive util %", "packed frames",
                     "packed util %"});
   bench::print_rule(5);
+  bench::JsonReport report("a3_frame_packing");
   for (std::size_t n : {20u, 50u, 100u, 200u, 400u}) {
     const auto sigs = make_signals(n, 11);
     const auto naive = analysis::pack_naive(sigs, kBitrate);
@@ -52,6 +53,12 @@ int main() {
                       bench::fmt(100 * naive.can_utilization, 1),
                       std::to_string(packed.frames.size()),
                       bench::fmt(100 * packed.can_utilization, 1)});
+    report.row("a3_packing")
+        .num_u("signals", n)
+        .num_u("naive_frames", naive.frames.size())
+        .num("naive_util_pct", 100 * naive.can_utilization)
+        .num_u("packed_frames", packed.frames.size())
+        .num("packed_util_pct", 100 * packed.can_utilization);
   }
   std::puts(
       "\nAblation verdict: packing cuts frame count ~4x and bus utilization\n"

@@ -171,6 +171,7 @@ Evaluation evaluate(const std::vector<RunnableSpec>& app,
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e10_dse");
   const auto app = application();
   bench::print_title(
       "E10 / Table 9: mapping exploration, 12 runnables -> 4 ECUs over CAN");
@@ -210,6 +211,11 @@ int main() {
                     std::to_string(feasible),
                     bench::fmt(100.0 * feasible / explored, 1),
                     best == INT64_MAX ? "-" : bench::fmt(sim::to_ms(best), 2)});
+  report.row("e10_mapping_exploration")
+      .str("strategy", "chain_contiguous")
+      .num_u("explored", static_cast<std::uint64_t>(explored))
+      .num_u("feasible", static_cast<std::uint64_t>(feasible))
+      .num("best_e2e_ms", best == INT64_MAX ? -1.0 : sim::to_ms(best));
 
   // Strategy 2: random arbitrary mappings.
   sim::Rng rng(42);
@@ -239,6 +245,15 @@ int main() {
                     bench::fmt(100.0 * r_feasible / r_explored, 1),
                     r_best == INT64_MAX ? "-"
                                         : bench::fmt(sim::to_ms(r_best), 2)});
+  report.row("e10_mapping_exploration")
+      .str("strategy", "random_sampling")
+      .num_u("explored", static_cast<std::uint64_t>(r_explored))
+      .num_u("feasible", static_cast<std::uint64_t>(r_feasible))
+      .num("best_e2e_ms", r_best == INT64_MAX ? -1.0 : sim::to_ms(r_best))
+      .num_u("fail_vertical", static_cast<std::uint64_t>(fail_vertical))
+      .num_u("fail_cpu_rta", static_cast<std::uint64_t>(fail_cpu))
+      .num_u("fail_bus_rta", static_cast<std::uint64_t>(fail_bus))
+      .num_u("fail_latency", static_cast<std::uint64_t>(fail_latency));
 
   std::printf("\nbest chain-contiguous mapping: %s\n", best_desc.c_str());
   std::printf(

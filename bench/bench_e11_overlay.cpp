@@ -132,14 +132,26 @@ int main() {
   bench::print_row({"platform", "sent", "received", "inversions", "mean us",
                     "worst us"});
   bench::print_rule(6);
+  bench::JsonReport report("e11_overlay");
+  const auto record = [&report](const char* platform, const auto& r) {
+    report.row("e11_legacy_workload")
+        .str("platform", platform)
+        .num_u("sent", r.sent)
+        .num_u("received", r.received)
+        .num_u("inversions", r.inversions)
+        .num("mean_us", r.mean_us)
+        .num("worst_us", r.worst_us);
+  };
   const auto ref = run_reference();
   bench::print_row({"native CAN 500k", bench::fmt_u(ref.sent),
                     bench::fmt_u(ref.received), bench::fmt_u(ref.inversions),
                     bench::fmt(ref.mean_us, 1), bench::fmt(ref.worst_us, 1)});
+  record("native_can", ref);
   const auto ovl = run_overlay();
   bench::print_row({"CAN overlay / TDMA NoC", bench::fmt_u(ovl.sent),
                     bench::fmt_u(ovl.received), bench::fmt_u(ovl.inversions),
                     bench::fmt(ovl.mean_us, 1), bench::fmt(ovl.worst_us, 1)});
+  record("can_overlay_tdma_noc", ovl);
   std::puts(
       "\nExpected shape (paper S4): the overlay preserves the legacy API and\n"
       "semantics — full delivery, zero priority inversions within the\n"

@@ -204,6 +204,16 @@ Result run_tte_case(double load) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e1_predictability");
+  const auto record = [&report](const char* bus, double load, const Result& r) {
+    report.row("e1_latency_vs_load")
+        .str("bus", bus)
+        .num("target_load", load)
+        .num("bus_util_pct", 100 * r.bus_util)
+        .num("mean_ms", r.mean_ms)
+        .num("max_ms", r.max_ms)
+        .num("jitter_ms", r.jitter_ms);
+  };
   bench::print_title(
       "E1 / Table 1: end-to-end latency vs bus load (CAN vs FlexRay static)");
   bench::print_row({"bus / target load", "bus util %", "mean ms", "max ms",
@@ -214,6 +224,7 @@ int main() {
     bench::print_row({"CAN 500k / " + bench::fmt(load, 1),
                       bench::fmt(100 * r.bus_util, 1), bench::fmt(r.mean_ms, 3),
                       bench::fmt(r.max_ms, 3), bench::fmt(r.jitter_ms, 3)});
+    record("can", load, r);
   }
   bench::print_rule(5);
   for (double load : {0.0, 0.3, 0.6, 0.9}) {
@@ -221,6 +232,7 @@ int main() {
     bench::print_row({"FlexRay static / " + bench::fmt(load, 1),
                       bench::fmt(100 * r.bus_util, 1), bench::fmt(r.mean_ms, 3),
                       bench::fmt(r.max_ms, 3), bench::fmt(r.jitter_ms, 3)});
+    record("flexray_static", load, r);
   }
   bench::print_rule(5);
   for (double load : {0.0, 0.3, 0.6, 0.9}) {
@@ -229,6 +241,7 @@ int main() {
                       bench::fmt(100 * r.bus_util, 1),
                       bench::fmt(r.mean_ms, 3), bench::fmt(r.max_ms, 3),
                       bench::fmt(r.jitter_ms, 3)});
+    record("tte_tt_flow", load, r);
   }
   std::puts(
       "\nExpected shape (paper S1,S3,S4): CAN max latency and jitter grow with\n"

@@ -100,6 +100,7 @@ Row run_case(Policy policy, double factor) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e2_isolation");
   bench::print_title(
       "E2 / Table 2: victim damage vs overrun factor, per isolation policy");
   bench::print_row({"policy / overrun x", "victim misses", "sanctions",
@@ -114,6 +115,13 @@ int main() {
                         bench::fmt_u(r.aggressor_sanctions),
                         bench::fmt(r.victim_worst_ms, 3),
                         bench::fmt(100 * r.cpu_util, 1)});
+      report.row("e2_victim_damage")
+          .str("policy", name_of(p))
+          .num("overrun_factor", factor)
+          .num_u("victim_misses", r.victim_misses)
+          .num_u("sanctions", r.aggressor_sanctions)
+          .num("victim_worst_ms", r.victim_worst_ms)
+          .num("cpu_util_pct", 100 * r.cpu_util);
     }
     bench::print_rule(5);
   }

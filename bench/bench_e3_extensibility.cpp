@@ -126,6 +126,7 @@ double worst_latency(vfb::BusKind bus, int extra_pairs) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e3_extensibility");
   bench::print_title(
       "E3 / Table 3: base-app worst latency when k SWC pairs are added");
   bench::print_row({"added SWC pairs k", "CAN worst ms", "CAN drift %",
@@ -140,6 +141,12 @@ int main() {
                       bench::fmt(100 * (can - can0) / can0, 1),
                       bench::fmt(fr, 3),
                       bench::fmt(100 * (fr - fr0) / fr0, 1)});
+    report.row("e3_base_latency_drift")
+        .num_u("added_pairs", static_cast<std::uint64_t>(k))
+        .num("can_worst_ms", can)
+        .num("can_drift_pct", 100 * (can - can0) / can0)
+        .num("flexray_worst_ms", fr)
+        .num("flexray_drift_pct", 100 * (fr - fr0) / fr0);
   }
   std::puts(
       "\nExpected shape (paper S1, S4 composability req. 2): the base\n"

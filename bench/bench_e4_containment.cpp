@@ -106,6 +106,7 @@ NocRow run_noc(noc::Arbitration arb) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e4_containment");
   bench::print_title("E4a / Table 4a: TTP cluster, node 3 babbles 4s-6s");
   bench::print_row({"guardian", "collisions", "membership loss",
                     "healthy frames rx"});
@@ -115,6 +116,11 @@ int main() {
     bench::print_row({guardian ? "on" : "off", bench::fmt_u(r.collisions),
                       bench::fmt_u(r.membership_losses),
                       bench::fmt_u(r.healthy_rx)});
+    report.row("e4a_ttp_babbling")
+        .str("guardian", guardian ? "on" : "off")
+        .num_u("collisions", r.collisions)
+        .num_u("membership_losses", r.membership_losses)
+        .num_u("healthy_rx", r.healthy_rx);
   }
 
   bench::print_title("E4b / Table 4b: 8-core NoC, core 3 floods 4s-6s");
@@ -127,6 +133,11 @@ int main() {
         {arb == noc::Arbitration::kTdma ? "TDMA (guarded)" : "FCFS (shared)",
          bench::fmt(r.victim_worst_us, 2), bench::fmt_u(r.victim_rx),
          arb == noc::Arbitration::kTdma ? "~slot period" : "unbounded"});
+    report.row("e4b_noc_flood")
+        .str("arbitration",
+             arb == noc::Arbitration::kTdma ? "tdma" : "fcfs")
+        .num("victim_worst_us", r.victim_worst_us)
+        .num_u("victim_rx", r.victim_rx);
   }
   std::puts(
       "\nExpected shape (paper S4 req. 3-4): guardian off => collisions wipe\n"

@@ -149,9 +149,22 @@ void print_band(const std::string& label, const BandResult& r) {
                          : "-"});
 }
 
+void record_band(bench::JsonReport& report, const char* workload, double u,
+                 const BandResult& r) {
+  report.row("e6_bound_validity")
+      .str("workload", workload)
+      .num("utilization", u)
+      .num_u("sets", static_cast<std::uint64_t>(r.sets))
+      .num("schedulable_pct", 100.0 * r.schedulable / r.sets)
+      .num_u("violations", static_cast<std::uint64_t>(r.violations))
+      .num("tightness",
+           r.tightness_n > 0 ? r.tightness_sum / r.tightness_n : 0.0);
+}
+
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e6_analysis_validity");
   bench::print_title(
       "E6 / Table 6: analysis bounds vs simulation (100 random sets per band)");
   bench::print_row({"workload / utilization", "sets", "sched %", "violations",
@@ -159,14 +172,16 @@ int main() {
   bench::print_rule(5);
   int band_index = 0;
   for (double u : {0.3, 0.5, 0.7, 0.9}) {
-    print_band("task RTA / U=" + bench::fmt(u, 1),
-               run_task_band(u, 100, 1000 + 100 * band_index));
+    const auto r = run_task_band(u, 100, 1000 + 100 * band_index);
+    print_band("task RTA / U=" + bench::fmt(u, 1), r);
+    record_band(report, "task_rta", u, r);
     ++band_index;
   }
   bench::print_rule(5);
   for (double u : {0.3, 0.5, 0.7, 0.9}) {
-    print_band("CAN RTA / U=" + bench::fmt(u, 1),
-               run_can_band(u, 100, 5000 + 100 * band_index));
+    const auto r = run_can_band(u, 100, 5000 + 100 * band_index);
+    print_band("CAN RTA / U=" + bench::fmt(u, 1), r);
+    record_band(report, "can_rta", u, r);
     ++band_index;
   }
   std::puts(

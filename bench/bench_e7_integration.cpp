@@ -161,6 +161,7 @@ LatencyResult run_integrated() {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("e7_integration");
   bench::print_title("E7 / Table 7a: physical-architecture inventory");
   bench::print_row({"metric", "federated", "integrated"});
   bench::print_rule(3);
@@ -190,6 +191,16 @@ int main() {
                         ? "starved"
                         : bench::fmt(integ.babble_worst_ms, 3),
                     bench::fmt_u(integ.delivered)});
+  report.row("e7_cross_das_latency")
+      .str("architecture", "federated")
+      .num("nominal_worst_ms", fed.nominal_worst_ms)
+      .num("flood_worst_ms", fed.babble_worst_ms)
+      .num_u("delivered", fed.delivered);
+  report.row("e7_cross_das_latency")
+      .str("architecture", "integrated")
+      .num("nominal_worst_ms", integ.nominal_worst_ms)
+      .num("flood_worst_ms", integ.babble_worst_ms)
+      .num_u("delivered", integ.delivered);
   std::puts(
       "\nExpected shape (paper S4): the integrated architecture cuts the\n"
       "hardware inventory by ~4x, removes both store-and-forward gateway\n"

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_gbench_json.hpp"
 #include "bsw/com.hpp"
 #include "bsw/nvm.hpp"
 #include "contracts/contract.hpp"
@@ -167,7 +168,5 @@ BENCHMARK(BM_SimulatedEcuMillisecond);
 
 int main(int argc, char** argv) {
   print_inventory();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_google_benchmarks_with_json(argc, argv, "fig1_stack");
 }

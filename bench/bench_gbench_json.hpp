@@ -1,0 +1,49 @@
+// Glue for the google-benchmark based benches: run with the normal console
+// reporter AND write google-benchmark's JSON to BENCH_<name>.json (into
+// $ORTE_BENCH_JSON_DIR when set, else the working directory), mirroring the
+// bench_util.hpp JsonReport convention so every bench leaves a
+// machine-readable result file. A user-supplied --benchmark_out wins.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace orte::bench {
+
+inline int run_google_benchmarks_with_json(int argc, char** argv,
+                                           const std::string& name) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag;
+  std::vector<char*> args(argv, argv + argc);
+  if (!has_out) {
+    std::string path;
+    if (const char* dir = std::getenv("ORTE_BENCH_JSON_DIR")) {
+      path = std::string(dir) + "/";
+    }
+    path += "BENCH_" + name + ".json";
+    out_flag = "--benchmark_out=" + path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace orte::bench

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_gbench_json.hpp"
 #include "can/can_bus.hpp"
 #include "net/frame.hpp"
 #include "sim/kernel.hpp"
@@ -144,4 +145,6 @@ BENCHMARK(BM_CanFanOut)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::run_google_benchmarks_with_json(argc, argv, "kernel");
+}

@@ -1,10 +1,16 @@
 // Shared helpers for the experiment benches: fixed-width table printing in
-// the style the paper's evaluation tables would use, and wall-clock timing.
+// the style the paper's evaluation tables would use, wall-clock timing, and
+// machine-readable JSON result files (BENCH_<name>.json) so the perf
+// trajectory is tracked across PRs instead of only living in prose.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace orte::bench {
@@ -45,6 +51,93 @@ class WallClock {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+// --- Machine-readable results -------------------------------------------------
+
+/// One JSON object in a JsonReport: chain num()/str() calls to add fields.
+class JsonRow {
+ public:
+  JsonRow& num(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonRow& num_u(std::string_view key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonRow& str(std::string_view key, std::string_view value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return raw(key, quoted);
+  }
+
+  [[nodiscard]] const std::string& body() const { return body_; }
+
+ private:
+  JsonRow& raw(std::string_view key, std::string_view rendered) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"";
+    body_.append(key);
+    body_ += "\": ";
+    body_.append(rendered);
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Collects result rows and writes BENCH_<name>.json (into
+/// $ORTE_BENCH_JSON_DIR when set, else the working directory) at
+/// destruction. Every bench registers the same values its stdout tables
+/// print, so CI and cross-PR tooling diff structured numbers, not prose.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  /// Add a row tagged with the table it belongs to.
+  JsonRow& row(std::string_view table) {
+    rows_.emplace_back();
+    rows_.back().str("table", table);
+    return rows_.back();
+  }
+
+  /// Write BENCH_<name>.json now (idempotent; the destructor is a no-op
+  /// afterwards).
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::string path;
+    if (const char* dir = std::getenv("ORTE_BENCH_JSON_DIR")) {
+      path = std::string(dir) + "/";
+    }
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {%s}%s\n", rows_[i].body().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<JsonRow> rows_;
+  bool written_ = false;
 };
 
 }  // namespace orte::bench

@@ -1,5 +1,7 @@
 #include "isolation/monitor.hpp"
 
+#include <string>
+
 namespace orte::isolation {
 
 namespace {
@@ -11,8 +13,9 @@ constexpr std::string_view kLost = "task.activation_lost";
 ContainmentMonitor::ContainmentMonitor(const sim::Trace& trace)
     : trace_(&trace), total_misses_at_start_(trace.count(kMiss)) {
   const auto snapshot = [&trace](std::string_view category, Baseline& out) {
-    for (auto& [subject, count] : trace.subject_counts(category)) {
-      out.emplace(std::move(subject), count);
+    for (const auto& [subject_id, count] :
+         trace.subject_counts_by_id(trace.category_id(category))) {
+      out.emplace(subject_id, count);
     }
   };
   snapshot(kMiss, misses_at_start_);
@@ -23,8 +26,13 @@ ContainmentMonitor::ContainmentMonitor(const sim::Trace& trace)
 std::uint64_t ContainmentMonitor::delta(std::string_view category,
                                         const Baseline& baseline,
                                         std::string_view subject) const {
-  const std::uint64_t now = trace_->count(category, subject);
-  auto it = baseline.find(subject);
+  // Category/subject IDs are resolved per query (not cached at
+  // construction): the watched names may be interned only by emissions
+  // that happen after this monitor started.
+  const sim::TraceId subj = trace_->subject_id(subject);
+  if (subj == sim::kNoTraceId) return 0;
+  const std::uint64_t now = trace_->count(trace_->category_id(category), subj);
+  auto it = baseline.find(subj);
   return now - (it == baseline.end() ? 0 : it->second);
 }
 
@@ -48,9 +56,13 @@ std::uint64_t ContainmentMonitor::total_deadline_misses() const {
 std::uint64_t ContainmentMonitor::victim_misses(
     std::string_view aggressor) const {
   std::uint64_t n = 0;
-  for (const auto& [task, count] : trace_->subject_counts(kMiss)) {
-    if (task.find(aggressor) != std::string::npos) continue;
-    auto it = misses_at_start_.find(task);
+  for (const auto& [task_id, count] :
+       trace_->subject_counts_by_id(trace_->category_id(kMiss))) {
+    if (trace_->subject_name(task_id).find(aggressor) !=
+        std::string_view::npos) {
+      continue;
+    }
+    auto it = misses_at_start_.find(task_id);
     n += count - (it == misses_at_start_.end() ? 0 : it->second);
   }
   return n;

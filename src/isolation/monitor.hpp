@@ -7,12 +7,13 @@
 // every query is "current index minus baseline". Semantics are unchanged
 // (only events from subscription time on count) but the monitor adds zero
 // per-record cost — the first consumer of the rv-style counting index.
+// Baselines are keyed by interned subject ID (stable for the trace's
+// lifetime), so queries compare integers, never strings.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "sim/trace.hpp"
 
@@ -31,7 +32,7 @@ class ContainmentMonitor {
   [[nodiscard]] std::uint64_t victim_misses(std::string_view aggressor) const;
 
  private:
-  using Baseline = std::map<std::string, std::uint64_t, std::less<>>;
+  using Baseline = std::unordered_map<sim::TraceId, std::uint64_t>;
 
   std::uint64_t delta(std::string_view category, const Baseline& baseline,
                       std::string_view subject) const;

@@ -15,12 +15,16 @@ void Monitor::raise(Violation v) {
 ArrivalMonitor::ArrivalMonitor(ArrivalSpec spec)
     : Monitor(spec.contract), spec_(std::move(spec)) {}
 
-std::vector<std::string> ArrivalMonitor::categories() const {
-  return {spec_.category};
+std::vector<Monitor::Subscription> ArrivalMonitor::subscriptions() const {
+  return {{spec_.category, spec_.subject}};
+}
+
+void ArrivalMonitor::prepare(sim::Trace& trace) {
+  subject_id_ = trace.intern_subject(spec_.subject);
 }
 
 void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
-  if (rec.subject != spec_.subject) return;
+  if (rec.subject_id != subject_id_) return;
   ++arrivals_;
   const sim::Time prev = last_;
   last_ = rec.when;
@@ -55,13 +59,18 @@ void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
 DeadlineMonitor::DeadlineMonitor(DeadlineSpec spec)
     : Monitor(spec.contract), spec_(std::move(spec)) {}
 
-std::vector<std::string> DeadlineMonitor::categories() const {
-  return {"task.deadline_miss", "task.complete"};
+std::vector<Monitor::Subscription> DeadlineMonitor::subscriptions() const {
+  return {{"task.deadline_miss", spec_.task}, {"task.complete", spec_.task}};
+}
+
+void DeadlineMonitor::prepare(sim::Trace& trace) {
+  task_id_ = trace.intern_subject(spec_.task);
+  miss_category_id_ = trace.intern_category("task.deadline_miss");
 }
 
 void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
-  if (rec.subject != spec_.task) return;
-  if (rec.category == "task.deadline_miss") {
+  if (rec.subject_id != task_id_) return;
+  if (rec.category_id == miss_category_id_) {
     Violation v;
     v.contract = contract_;
     v.subject = spec_.task;
@@ -95,16 +104,21 @@ void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
 LatencyMonitor::LatencyMonitor(LatencySpec spec)
     : Monitor(spec.contract), spec_(std::move(spec)) {}
 
-std::vector<std::string> LatencyMonitor::categories() const {
-  if (spec_.source_category == spec_.sink_category) {
-    return {spec_.source_category};
-  }
-  return {spec_.source_category, spec_.sink_category};
+std::vector<Monitor::Subscription> LatencyMonitor::subscriptions() const {
+  return {{spec_.source_category, spec_.source_subject},
+          {spec_.sink_category, spec_.sink_subject}};
+}
+
+void LatencyMonitor::prepare(sim::Trace& trace) {
+  source_category_id_ = trace.intern_category(spec_.source_category);
+  source_subject_id_ = trace.intern_subject(spec_.source_subject);
+  sink_category_id_ = trace.intern_category(spec_.sink_category);
+  sink_subject_id_ = trace.intern_subject(spec_.sink_subject);
 }
 
 void LatencyMonitor::observe(const sim::TraceRecord& rec) {
-  if (rec.category == spec_.source_category &&
-      rec.subject == spec_.source_subject) {
+  if (rec.category_id == source_category_id_ &&
+      rec.subject_id == source_subject_id_) {
     in_flight_.push_back(rec.when);
     if (in_flight_.size() > spec_.max_in_flight) {
       // The sink fell behind by a full window: the oldest cause will never
@@ -124,8 +138,8 @@ void LatencyMonitor::observe(const sim::TraceRecord& rec) {
     }
     return;
   }
-  if (rec.category != spec_.sink_category ||
-      rec.subject != spec_.sink_subject) {
+  if (rec.category_id != sink_category_id_ ||
+      rec.subject_id != sink_subject_id_) {
     return;
   }
   if (!spec_.sink_detail.empty() && rec.detail != spec_.sink_detail) return;
@@ -158,27 +172,32 @@ AutomatonMonitor::AutomatonMonitor(AutomatonSpec spec)
       spec_(std::move(spec)),
       stepper_(spec_.automaton) {}
 
-std::vector<std::string> AutomatonMonitor::categories() const {
-  std::vector<std::string> cats;
+std::vector<Monitor::Subscription> AutomatonMonitor::subscriptions() const {
+  std::vector<Subscription> subs;
   for (const auto& rule : spec_.labels) {
-    bool seen = false;
-    for (const auto& c : cats) {
-      if (c == rule.category) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) cats.push_back(rule.category);
+    subs.push_back({rule.category, rule.subject});
   }
-  return cats;
+  return subs;
+}
+
+void AutomatonMonitor::prepare(sim::Trace& trace) {
+  rule_ids_.clear();
+  for (const auto& rule : spec_.labels) {
+    RuleIds ids;
+    ids.category = trace.intern_category(rule.category);
+    ids.any_subject = rule.subject.empty();
+    if (!ids.any_subject) ids.subject = trace.intern_subject(rule.subject);
+    rule_ids_.push_back(ids);
+  }
 }
 
 void AutomatonMonitor::observe(const sim::TraceRecord& rec) {
   const AutomatonSpec::LabelRule* rule = nullptr;
-  for (const auto& r : spec_.labels) {
-    if (r.category == rec.category &&
-        (r.subject.empty() || r.subject == rec.subject)) {
-      rule = &r;
+  for (std::size_t i = 0; i < rule_ids_.size(); ++i) {
+    const RuleIds& ids = rule_ids_[i];
+    if (ids.category == rec.category_id &&
+        (ids.any_subject || ids.subject == rec.subject_id)) {
+      rule = &spec_.labels[i];
       break;
     }
   }

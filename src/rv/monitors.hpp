@@ -23,19 +23,34 @@
 
 namespace orte::rv {
 
-/// Base of every online monitor. A monitor declares the trace categories it
-/// consumes; the MonitorRegistry routes matching records to observe() and
-/// receives raised violations through the bound sink.
+/// Base of every online monitor. A monitor declares the (category, subject)
+/// pairs it consumes; the MonitorRegistry routes matching records to
+/// observe() and receives raised violations through the bound sink.
 class Monitor {
  public:
   using Sink = std::function<void(const Violation&)>;
+
+  /// One routing key. An empty subject means "every subject of the
+  /// category" — the registry keeps those in a per-category wildcard
+  /// bucket; non-empty subjects are reached through the
+  /// (category_id, subject_id) index in one hash lookup.
+  struct Subscription {
+    std::string category;
+    std::string subject;
+  };
 
   virtual ~Monitor() = default;
   Monitor(const Monitor&) = delete;
   Monitor& operator=(const Monitor&) = delete;
 
-  /// Trace categories this monitor wants to see.
-  [[nodiscard]] virtual std::vector<std::string> categories() const = 0;
+  /// Routing keys this monitor wants to see.
+  [[nodiscard]] virtual std::vector<Subscription> subscriptions() const = 0;
+
+  /// Called once by the registry at attach() time with the trace this
+  /// monitor will observe: resolve spec strings into interned TraceIds so
+  /// observe() compares integers, never strings.
+  virtual void prepare(sim::Trace& trace) { (void)trace; }
+
   virtual void observe(const sim::TraceRecord& rec) = 0;
 
   void bind(Sink sink) { sink_ = std::move(sink); }
@@ -72,12 +87,14 @@ struct ArrivalSpec {
 class ArrivalMonitor final : public Monitor {
  public:
   explicit ArrivalMonitor(ArrivalSpec spec);
-  [[nodiscard]] std::vector<std::string> categories() const override;
+  [[nodiscard]] std::vector<Subscription> subscriptions() const override;
+  void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
   [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
 
  private:
   ArrivalSpec spec_;
+  sim::TraceId subject_id_ = sim::kNoTraceId;
   sim::Time last_ = -1;
   std::uint64_t arrivals_ = 0;
   std::uint64_t streak_ = 0;
@@ -101,12 +118,15 @@ struct DeadlineSpec {
 class DeadlineMonitor final : public Monitor {
  public:
   explicit DeadlineMonitor(DeadlineSpec spec);
-  [[nodiscard]] std::vector<std::string> categories() const override;
+  [[nodiscard]] std::vector<Subscription> subscriptions() const override;
+  void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
   [[nodiscard]] std::uint64_t completions() const { return completions_; }
 
  private:
   DeadlineSpec spec_;
+  sim::TraceId task_id_ = sim::kNoTraceId;
+  sim::TraceId miss_category_id_ = sim::kNoTraceId;
   std::uint64_t completions_ = 0;
   std::uint64_t miss_streak_ = 0;
 };
@@ -137,13 +157,18 @@ struct LatencySpec {
 class LatencyMonitor final : public Monitor {
  public:
   explicit LatencyMonitor(LatencySpec spec);
-  [[nodiscard]] std::vector<std::string> categories() const override;
+  [[nodiscard]] std::vector<Subscription> subscriptions() const override;
+  void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] sim::Duration worst() const { return worst_; }
 
  private:
   LatencySpec spec_;
+  sim::TraceId source_category_id_ = sim::kNoTraceId;
+  sim::TraceId source_subject_id_ = sim::kNoTraceId;
+  sim::TraceId sink_category_id_ = sim::kNoTraceId;
+  sim::TraceId sink_subject_id_ = sim::kNoTraceId;
   std::deque<sim::Time> in_flight_;
   std::uint64_t samples_ = 0;
   sim::Duration worst_ = 0;
@@ -174,13 +199,22 @@ struct AutomatonSpec {
 class AutomatonMonitor final : public Monitor {
  public:
   explicit AutomatonMonitor(AutomatonSpec spec);
-  [[nodiscard]] std::vector<std::string> categories() const override;
+  [[nodiscard]] std::vector<Subscription> subscriptions() const override;
+  void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
   [[nodiscard]] std::uint64_t events() const { return events_; }
   [[nodiscard]] int location() const { return stepper_.location(); }
 
  private:
+  /// Interned twin of one LabelRule: subject kNoTraceId = any subject.
+  struct RuleIds {
+    sim::TraceId category = sim::kNoTraceId;
+    sim::TraceId subject = sim::kNoTraceId;
+    bool any_subject = false;
+  };
+
   AutomatonSpec spec_;
+  std::vector<RuleIds> rule_ids_;  ///< Parallel to spec_.labels.
   contracts::TimedAutomaton::Stepper stepper_;
   sim::Time last_event_ = 0;
   std::uint64_t events_ = 0;

@@ -1,5 +1,7 @@
 #include "rv/registry.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -16,17 +18,50 @@ std::uint32_t contract_dtc_code(std::string_view contract) {
 
 MonitorRegistry::MonitorRegistry(sim::Trace& trace) : trace_(trace) {
   trace_.subscribe([this](const sim::TraceRecord& rec) {
-    auto it = by_category_.find(rec.category);
-    if (it == by_category_.end()) return;
+    assert(trace_.category_name(rec.category_id) == rec.category &&
+           trace_.subject_name(rec.subject_id) == rec.subject);
+    auto it = index_.find(rec.category_id);
+    if (it == index_.end()) return;  // category nobody watches
     ++records_routed_;
-    for (Monitor* m : it->second) m->observe(rec);
+    const CategoryBucket& bucket = it->second;
+    bool delivered = false;
+    auto sit = bucket.by_subject.find(rec.subject_id);
+    if (sit != bucket.by_subject.end()) {
+      delivered = true;
+      for (Monitor* m : sit->second) m->observe(rec);
+    }
+    if (!bucket.wildcard.empty()) {
+      delivered = true;
+      for (Monitor* m : bucket.wildcard) m->observe(rec);
+    }
+    records_delivered_ += delivered ? 1 : 0;
   });
 }
 
 void MonitorRegistry::attach(Monitor& monitor) {
   monitor.bind([this](const Violation& v) { handle(v); });
-  for (const auto& cat : monitor.categories()) {
-    by_category_[cat].push_back(&monitor);
+  monitor.prepare(trace_);
+  const auto subs = monitor.subscriptions();
+  const auto enter = [&monitor](std::vector<Monitor*>& bucket) {
+    if (std::find(bucket.begin(), bucket.end(), &monitor) == bucket.end()) {
+      bucket.push_back(&monitor);
+    }
+  };
+  // Wildcard subscriptions first: a monitor watching every subject of a
+  // category must not also sit in that category's subject buckets, or one
+  // record would reach it twice.
+  for (const auto& sub : subs) {
+    if (!sub.subject.empty()) continue;
+    enter(index_[trace_.intern_category(sub.category)].wildcard);
+  }
+  for (const auto& sub : subs) {
+    if (sub.subject.empty()) continue;
+    CategoryBucket& bucket = index_[trace_.intern_category(sub.category)];
+    if (std::find(bucket.wildcard.begin(), bucket.wildcard.end(), &monitor) !=
+        bucket.wildcard.end()) {
+      continue;  // already sees every subject of this category
+    }
+    enter(bucket.by_subject[trace_.intern_subject(sub.subject)]);
   }
 }
 

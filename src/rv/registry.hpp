@@ -1,7 +1,11 @@
 // MonitorRegistry: the fan-in point of the runtime-verification layer. It
-// subscribes ONE listener to the sim::Trace and routes each record to the
-// monitors interested in its category (an index, not a scan — cost per
-// record is one map lookup, zero for categories nobody watches).
+// subscribes ONE listener to the sim::Trace and routes each record through
+// a (category_id, subject_id) index built at attach() time from the
+// monitors' declared subscriptions. Per-subject monitors (arrival,
+// deadline, latency source/sink) are reached in one hash lookup by interned
+// ID — cost per record is O(1) in the monitor count, zero for categories
+// nobody watches; a per-category wildcard bucket serves any-subject
+// automaton rules.
 //
 // Violations flow three ways, mirroring §4's error-containment story:
 //  (a) recorded in the queryable HealthReport,
@@ -16,11 +20,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "bsw/dem.hpp"
@@ -69,8 +73,16 @@ class MonitorRegistry {
   // --- Queries --------------------------------------------------------------
   [[nodiscard]] const HealthReport& health() const { return health_; }
   [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
+  /// Records whose category at least one monitor subscribes to (routed
+  /// through the dispatch index — the same semantics as the pre-interning
+  /// category router, whether or not a subject bucket matched).
   [[nodiscard]] std::uint64_t records_routed() const {
     return records_routed_;
+  }
+  /// Of the routed records, how many were delivered to at least one
+  /// monitor (subject bucket hit or wildcard present).
+  [[nodiscard]] std::uint64_t records_delivered() const {
+    return records_delivered_;
   }
   [[nodiscard]] bool escalated() const { return escalated_; }
 
@@ -79,12 +91,21 @@ class MonitorRegistry {
   void reset();
 
  private:
+  /// Dispatch bucket of one watched category: monitors keyed by interned
+  /// subject ID, plus the wildcard (any-subject) list. A monitor with a
+  /// wildcard subscription on a category is never also entered in that
+  /// category's subject buckets (it would observe the same record twice).
+  struct CategoryBucket {
+    std::unordered_map<sim::TraceId, std::vector<Monitor*>> by_subject;
+    std::vector<Monitor*> wildcard;
+  };
+
   void attach(Monitor& monitor);
   void handle(const Violation& v);
 
   sim::Trace& trace_;
   std::vector<std::unique_ptr<Monitor>> monitors_;
-  std::map<std::string, std::vector<Monitor*>, std::less<>> by_category_;
+  std::unordered_map<sim::TraceId, CategoryBucket> index_;
   HealthReport health_;
   std::vector<ViolationCallback> callbacks_;
 
@@ -98,6 +119,7 @@ class MonitorRegistry {
   bool escalated_ = false;
   QuarantineHook quarantine_;
   std::uint64_t records_routed_ = 0;
+  std::uint64_t records_delivered_ = 0;
 };
 
 /// Stable 24-bit DTC code for a contract name (FNV-1a folded), so the same

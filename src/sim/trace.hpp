@@ -2,19 +2,25 @@
 // subscribe to the live stream; records are also retained for post-run
 // queries when retention is on.
 //
-// Counting is O(log n) and allocation-free on the hot path: a
-// category -> count index (and a (category, subject) -> count index) is
-// maintained at emit time, so count() never scans the retained vector and
-// stays correct even with retention disabled. When nothing observes the
-// stream (no listeners, retention off) emit() skips building the record
-// entirely — long unobserved runs pay only the two index bumps.
+// Category and subject strings are interned into dense integer TraceIds at
+// first sight, so the hot path is allocation-free and O(1): emit() resolves
+// both IDs with one transparent hash lookup each (no std::string
+// construction), bumps a flat per-category vector and a single
+// (category, subject)-keyed hash cell, and only builds a TraceRecord when
+// somebody observes the stream (listeners or retention). Records carry the
+// IDs alongside the strings so downstream consumers (rv::MonitorRegistry,
+// isolation::ContainmentMonitor) route and compare integers, never strings.
+// IDs are stable for the lifetime of the Trace — clear() resets counts and
+// records but keeps the intern tables.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -22,12 +28,21 @@
 
 namespace orte::sim {
 
+/// Dense intern ID for a trace category or subject string. IDs are
+/// per-Trace, assigned in first-sight order, and never recycled.
+using TraceId = std::uint32_t;
+
+/// "Not interned (yet)" — returned by the const lookups for unseen names.
+inline constexpr TraceId kNoTraceId = 0xFFFFFFFFu;
+
 struct TraceRecord {
   Time when = 0;
   std::string category;  // e.g. "task.release", "can.tx", "budget.overrun"
   std::string subject;   // task/frame/node name
   std::int64_t value = 0;
   std::string detail;
+  TraceId category_id = kNoTraceId;  ///< Intern ID of `category`.
+  TraceId subject_id = kNoTraceId;   ///< Intern ID of `subject`.
 };
 
 class Trace {
@@ -38,12 +53,30 @@ class Trace {
 
   void emit(Time when, std::string_view category, std::string_view subject,
             std::int64_t value = 0, std::string_view detail = {}) {
-    bump(category, subject);
-    if (listeners_.empty() && !retain_) return;  // no-observer fast path
-    TraceRecord rec{when, std::string(category), std::string(subject), value,
-                    std::string(detail)};
+    const TraceId cat = categories_.intern(category);
+    const TraceId subj = subjects_.intern(subject);
+    bump(cat, subj);
+    if (!retain_) {
+      records_complete_ = false;
+      if (listeners_.empty()) return;  // no-observer fast path
+      // Listener-only path: notify through a reused scratch record — the
+      // string assignments reuse capacity, so a warmed-up monitored run
+      // emits with zero allocations.
+      scratch_.when = when;
+      scratch_.category.assign(category);
+      scratch_.subject.assign(subject);
+      scratch_.value = value;
+      scratch_.detail.assign(detail);
+      scratch_.category_id = cat;
+      scratch_.subject_id = subj;
+      for (const auto& l : listeners_) l(scratch_);
+      return;
+    }
+    TraceRecord rec{when,  std::string(category), std::string(subject),
+                    value, std::string(detail),   cat,
+                    subj};
     for (const auto& l : listeners_) l(rec);
-    if (retain_) records_.push_back(std::move(rec));
+    records_.push_back(std::move(rec));
   }
 
   void subscribe(Listener listener) {
@@ -54,17 +87,55 @@ class Trace {
     return records_;
   }
 
+  // --- Interning ------------------------------------------------------------
+
+  /// Intern a name ahead of its first emission (observers pre-register the
+  /// IDs they will route on, e.g. rv::MonitorRegistry at attach() time).
+  TraceId intern_category(std::string_view category) {
+    return categories_.intern(category);
+  }
+  TraceId intern_subject(std::string_view subject) {
+    return subjects_.intern(subject);
+  }
+
+  /// ID of a name if it has been seen/interned, kNoTraceId otherwise.
+  [[nodiscard]] TraceId category_id(std::string_view category) const {
+    return categories_.find(category);
+  }
+  [[nodiscard]] TraceId subject_id(std::string_view subject) const {
+    return subjects_.find(subject);
+  }
+
+  /// Reverse lookup; empty view for unknown IDs.
+  [[nodiscard]] std::string_view category_name(TraceId id) const {
+    return categories_.name(id);
+  }
+  [[nodiscard]] std::string_view subject_name(TraceId id) const {
+    return subjects_.name(id);
+  }
+
+  // --- Counting -------------------------------------------------------------
+
   /// Emissions in `category` since construction / the last clear(),
   /// independent of retention.
   [[nodiscard]] std::size_t count(std::string_view category) const {
-    auto it = category_counts_.find(category);
-    return it == category_counts_.end() ? 0 : it->second;
+    return count(categories_.find(category));
   }
 
   [[nodiscard]] std::size_t count(std::string_view category,
                                   std::string_view subject) const {
-    auto it = subject_counts_.find(std::pair{category, subject});
-    return it == subject_counts_.end() ? 0 : it->second;
+    return count(categories_.find(category), subjects_.find(subject));
+  }
+
+  [[nodiscard]] std::size_t count(TraceId category) const {
+    return category < category_counts_.size() ? category_counts_[category]
+                                              : 0;
+  }
+
+  [[nodiscard]] std::size_t count(TraceId category, TraceId subject) const {
+    if (category == kNoTraceId || subject == kNoTraceId) return 0;
+    auto it = pair_counts_.find(pair_key(category, subject));
+    return it == pair_counts_.end() ? 0 : it->second;
   }
 
   /// Every (subject, count) pair recorded under `category`, in subject
@@ -73,56 +144,127 @@ class Trace {
   [[nodiscard]] std::vector<std::pair<std::string, std::size_t>>
   subject_counts(std::string_view category) const {
     std::vector<std::pair<std::string, std::size_t>> out;
-    for (auto it = subject_counts_.lower_bound(
-             std::pair{category, std::string_view{}});
-         it != subject_counts_.end() && it->first.first == category; ++it) {
-      out.emplace_back(it->first.second, it->second);
+    const TraceId cat = categories_.find(category);
+    if (cat == kNoTraceId) return out;
+    for (const auto& [key, n] : pair_counts_) {
+      if (static_cast<TraceId>(key >> 32) != cat) continue;
+      out.emplace_back(std::string(subjects_.name(
+                           static_cast<TraceId>(key & 0xFFFFFFFFu))),
+                       n);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// ID-keyed variant of subject_counts() (unordered): every
+  /// (subject_id, count) pair recorded under the category ID.
+  [[nodiscard]] std::vector<std::pair<TraceId, std::size_t>>
+  subject_counts_by_id(TraceId category) const {
+    std::vector<std::pair<TraceId, std::size_t>> out;
+    if (category == kNoTraceId) return out;
+    for (const auto& [key, n] : pair_counts_) {
+      if (static_cast<TraceId>(key >> 32) != category) continue;
+      out.emplace_back(static_cast<TraceId>(key & 0xFFFFFFFFu), n);
     }
     return out;
   }
 
   /// Drops retained records AND resets the count indexes (counts always
-  /// describe the same window as records() when retention is on).
+  /// describe the same window as records() when retention is on). Intern
+  /// IDs survive: a (category, subject) keeps its IDs across clear(), so
+  /// observers holding resolved IDs stay valid.
   void clear() {
+    // Guard against silent index drift: whenever the retained records are
+    // a complete history of the window, the ID-indexed counts must agree
+    // with a string-keyed recount of them.
+    assert(!records_complete_ || counts_match_records());
     records_.clear();
-    category_counts_.clear();
-    subject_counts_.clear();
+    category_counts_.assign(category_counts_.size(), 0);
+    pair_counts_.clear();
+    records_complete_ = true;
   }
 
- private:
-  /// Transparent comparator for (category, subject) pair keys so lookups
-  /// work on string_view pairs without allocating.
-  struct PairLess {
-    using is_transparent = void;
-    template <typename A, typename B>
-    bool operator()(const A& a, const B& b) const {
-      if (a.first != b.first) return a.first < b.first;
-      return a.second < b.second;
+  /// Consistency test hook: recount the retained records by their strings
+  /// and compare against the ID-indexed counts. Only meaningful when
+  /// retention has been on since construction / the last clear() (otherwise
+  /// counts legitimately exceed the recount); callers can check
+  /// records_complete() first. Used by the debug assertion in clear() and
+  /// by the index-drift regression tests.
+  [[nodiscard]] bool counts_match_records() const {
+    std::unordered_map<std::uint64_t, std::size_t> pair_recount;
+    std::vector<std::size_t> cat_recount(category_counts_.size(), 0);
+    for (const auto& rec : records_) {
+      const TraceId cat = categories_.find(rec.category);
+      const TraceId subj = subjects_.find(rec.subject);
+      if (cat == kNoTraceId || subj == kNoTraceId) return false;
+      if (cat != rec.category_id || subj != rec.subject_id) return false;
+      if (cat >= cat_recount.size()) return false;
+      ++cat_recount[cat];
+      ++pair_recount[pair_key(cat, subj)];
     }
+    return cat_recount == category_counts_ && pair_recount == pair_counts_;
+  }
+
+  /// True while the retained records cover every emission since
+  /// construction / the last clear() (retention never off during an emit).
+  [[nodiscard]] bool records_complete() const { return records_complete_; }
+
+ private:
+  /// String -> dense ID table with stable IDs and O(1) transparent lookup
+  /// (no std::string built for a hit). Name storage lives in the map nodes,
+  /// which are pointer-stable across rehash and move.
+  class Interner {
+   public:
+    TraceId intern(std::string_view name) {
+      auto it = ids_.find(name);
+      if (it != ids_.end()) return it->second;
+      const TraceId id = static_cast<TraceId>(names_.size());
+      it = ids_.emplace(std::string(name), id).first;
+      names_.push_back(it->first);
+      return id;
+    }
+    [[nodiscard]] TraceId find(std::string_view name) const {
+      auto it = ids_.find(name);
+      return it == ids_.end() ? kNoTraceId : it->second;
+    }
+    [[nodiscard]] std::string_view name(TraceId id) const {
+      return id < names_.size() ? names_[id] : std::string_view{};
+    }
+
+   private:
+    struct Hash {
+      using is_transparent = void;
+      std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+      }
+    };
+    std::unordered_map<std::string, TraceId, Hash, std::equal_to<>> ids_;
+    std::vector<std::string_view> names_;  ///< Views into ids_ keys.
   };
 
-  void bump(std::string_view category, std::string_view subject) {
-    auto cit = category_counts_.find(category);
-    if (cit == category_counts_.end()) {
-      category_counts_.emplace(std::string(category), 1);
-    } else {
-      ++cit->second;
+  static constexpr std::uint64_t pair_key(TraceId category, TraceId subject) {
+    return (static_cast<std::uint64_t>(category) << 32) | subject;
+  }
+
+  // Single-lookup bump per index (operator[] value-initializes on miss) —
+  // no find-then-emplace double walk, no key strings.
+  void bump(TraceId category, TraceId subject) {
+    if (category >= category_counts_.size()) {
+      category_counts_.resize(category + 1, 0);
     }
-    auto sit = subject_counts_.find(std::pair{category, subject});
-    if (sit == subject_counts_.end()) {
-      subject_counts_.emplace(
-          std::pair{std::string(category), std::string(subject)}, 1);
-    } else {
-      ++sit->second;
-    }
+    ++category_counts_[category];
+    ++pair_counts_[pair_key(category, subject)];
   }
 
   std::vector<Listener> listeners_;
   std::vector<TraceRecord> records_;
-  std::map<std::string, std::size_t, std::less<>> category_counts_;
-  std::map<std::pair<std::string, std::string>, std::size_t, PairLess>
-      subject_counts_;
+  TraceRecord scratch_;  ///< Reused for listener-only (no-retention) emits.
+  Interner categories_;
+  Interner subjects_;
+  std::vector<std::size_t> category_counts_;  ///< Indexed by category ID.
+  std::unordered_map<std::uint64_t, std::size_t> pair_counts_;
   bool retain_ = true;
+  bool records_complete_ = true;
 };
 
 }  // namespace orte::sim

@@ -5,6 +5,7 @@
 #include <cctype>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -291,6 +292,105 @@ TEST(MonitorRegistry, RoutesOnlyWatchedCategories) {
   trace.emit(2, "can.tx", "frame");
   EXPECT_EQ(reg.records_routed(), 1u);
   EXPECT_EQ(reg.monitor_count(), 1u);
+}
+
+// --- Dispatch index ((category_id, subject_id) routing) ----------------------
+
+/// Records every observe() call so tests can assert exactly which records
+/// the dispatch index delivered, and with which interned IDs.
+class ProbeMonitor final : public rv::Monitor {
+ public:
+  explicit ProbeMonitor(std::vector<Subscription> subs)
+      : rv::Monitor("C_Probe"), subs_(std::move(subs)) {}
+  [[nodiscard]] std::vector<Subscription> subscriptions() const override {
+    return subs_;
+  }
+  void observe(const sim::TraceRecord& rec) override {
+    seen.push_back(rec.category + "/" + rec.subject);
+    ids_consistent = ids_consistent && rec.category_id != sim::kNoTraceId &&
+                     rec.subject_id != sim::kNoTraceId;
+  }
+
+  std::vector<std::string> seen;
+  bool ids_consistent = true;
+
+ private:
+  std::vector<Subscription> subs_;
+};
+
+TEST(MonitorRegistry, SubjectIndexedDispatchHitsOnlyOwnSubject) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  auto a = std::make_unique<ProbeMonitor>(
+      std::vector<rv::Monitor::Subscription>{{"rte.write", "a"}});
+  auto b = std::make_unique<ProbeMonitor>(
+      std::vector<rv::Monitor::Subscription>{{"rte.write", "b"}});
+  ProbeMonitor* pa = a.get();
+  ProbeMonitor* pb = b.get();
+  reg.add(std::move(a));
+  reg.add(std::move(b));
+
+  trace.emit(0, "rte.write", "a");
+  trace.emit(1, "rte.write", "b");
+  trace.emit(2, "rte.write", "unwatched");
+  trace.emit(3, "rte.write", "a");
+
+  EXPECT_EQ(pa->seen, (std::vector<std::string>{"rte.write/a", "rte.write/a"}));
+  EXPECT_EQ(pb->seen, (std::vector<std::string>{"rte.write/b"}));
+  EXPECT_TRUE(pa->ids_consistent);
+  // Routed keeps pre-interning category semantics (any record of a watched
+  // category); delivered counts only records that reached a monitor.
+  EXPECT_EQ(reg.records_routed(), 4u);
+  EXPECT_EQ(reg.records_delivered(), 3u);
+}
+
+TEST(MonitorRegistry, WildcardSubscriptionSeesEverySubject) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  auto wild = std::make_unique<ProbeMonitor>(
+      std::vector<rv::Monitor::Subscription>{{"task.start", ""}});
+  ProbeMonitor* pw = wild.get();
+  reg.add(std::move(wild));
+
+  // Subjects never seen before attach() still reach the wildcard bucket.
+  trace.emit(0, "task.start", "t1");
+  trace.emit(1, "task.start", "t2");
+  trace.emit(2, "task.complete", "t1");  // other category: not routed
+  EXPECT_EQ(pw->seen,
+            (std::vector<std::string>{"task.start/t1", "task.start/t2"}));
+  EXPECT_EQ(reg.records_routed(), 2u);
+  EXPECT_EQ(reg.records_delivered(), 2u);
+}
+
+TEST(MonitorRegistry, WildcardPlusSubjectSubscriberDeliversOnce) {
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  auto probe = std::make_unique<ProbeMonitor>(
+      std::vector<rv::Monitor::Subscription>{{"rte.write", "s"},
+                                             {"rte.write", ""}});
+  ProbeMonitor* p = probe.get();
+  reg.add(std::move(probe));
+
+  trace.emit(0, "rte.write", "s");
+  ASSERT_EQ(p->seen.size(), 1u);  // wildcard subsumes the subject entry
+  trace.emit(1, "rte.write", "other");
+  EXPECT_EQ(p->seen.size(), 2u);
+}
+
+TEST(MonitorRegistry, RoutedAgreesWithTraceCategoryCount) {
+  // Regression: records_routed() must equal the trace's own count of the
+  // watched category — the exact pre-interning contract.
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  reg.add(std::make_unique<ProbeMonitor>(
+      std::vector<rv::Monitor::Subscription>{{"rte.write", "x"}}));
+  for (int i = 0; i < 7; ++i) {
+    trace.emit(i, "rte.write", i % 2 == 0 ? "x" : "y");
+    trace.emit(i, "task.start", "t");
+  }
+  EXPECT_EQ(reg.records_routed(), trace.count("rte.write"));
+  EXPECT_EQ(reg.records_routed(), 7u);
+  EXPECT_EQ(reg.records_delivered(), 4u);
 }
 
 TEST(ContractDtcCode, StableAndDistinct) {

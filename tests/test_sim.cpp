@@ -421,4 +421,102 @@ TEST(Trace, ClearResetsRecordsAndCounts) {
   EXPECT_EQ(t.count("cat"), 1u);
 }
 
+// --- Interning ----------------------------------------------------------------
+
+TEST(Trace, RecordsCarryInternedIds) {
+  Trace t;
+  t.emit(1, "cat.a", "x");
+  t.emit(2, "cat.b", "y");
+  ASSERT_EQ(t.records().size(), 2u);
+  const TraceRecord& a = t.records()[0];
+  const TraceRecord& b = t.records()[1];
+  EXPECT_EQ(a.category_id, t.category_id("cat.a"));
+  EXPECT_EQ(a.subject_id, t.subject_id("x"));
+  EXPECT_EQ(b.category_id, t.category_id("cat.b"));
+  EXPECT_EQ(b.subject_id, t.subject_id("y"));
+  EXPECT_NE(a.category_id, b.category_id);
+  EXPECT_NE(a.subject_id, b.subject_id);
+  // Reverse lookup round-trips.
+  EXPECT_EQ(t.category_name(a.category_id), "cat.a");
+  EXPECT_EQ(t.subject_name(b.subject_id), "y");
+  // ID-keyed counting agrees with string-keyed counting.
+  EXPECT_EQ(t.count(a.category_id), 1u);
+  EXPECT_EQ(t.count(a.category_id, a.subject_id), 1u);
+}
+
+TEST(Trace, UnseenNamesHaveNoId) {
+  Trace t;
+  t.emit(1, "cat", "s");
+  EXPECT_EQ(t.category_id("other"), kNoTraceId);
+  EXPECT_EQ(t.subject_id("other"), kNoTraceId);
+  EXPECT_EQ(t.count(kNoTraceId), 0u);
+  EXPECT_EQ(t.count(kNoTraceId, kNoTraceId), 0u);
+  EXPECT_TRUE(t.category_name(kNoTraceId).empty());
+}
+
+TEST(Trace, PreInterningAssignsTheSameIdEmitWillUse) {
+  Trace t;
+  const TraceId cat = t.intern_category("rte.write");
+  const TraceId subj = t.intern_subject("pedal.out.v");
+  t.emit(5, "rte.write", "pedal.out.v");
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].category_id, cat);
+  EXPECT_EQ(t.records()[0].subject_id, subj);
+  EXPECT_EQ(t.count(cat, subj), 1u);
+}
+
+TEST(Trace, InterningStableAcrossClear) {
+  Trace t;
+  t.emit(1, "cat.a", "x");
+  const TraceId cat = t.category_id("cat.a");
+  const TraceId subj = t.subject_id("x");
+  t.clear();
+  // Counts reset; IDs survive, and re-emitting reuses them.
+  EXPECT_EQ(t.category_id("cat.a"), cat);
+  EXPECT_EQ(t.subject_id("x"), subj);
+  EXPECT_EQ(t.count(cat, subj), 0u);
+  t.emit(2, "cat.a", "x");
+  EXPECT_EQ(t.records()[0].category_id, cat);
+  EXPECT_EQ(t.records()[0].subject_id, subj);
+  EXPECT_EQ(t.count(cat, subj), 1u);
+}
+
+TEST(Trace, SubjectCountsByIdMatchesStringIndex) {
+  Trace t;
+  t.emit(1, "cat", "b");
+  t.emit(2, "cat", "a");
+  t.emit(3, "cat", "b");
+  const auto by_id = t.subject_counts_by_id(t.category_id("cat"));
+  ASSERT_EQ(by_id.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& [subject_id, count] : by_id) {
+    EXPECT_EQ(count, t.count("cat", t.subject_name(subject_id)));
+    total += count;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_TRUE(t.subject_counts_by_id(kNoTraceId).empty());
+}
+
+// Guard against silent index drift: the ID-indexed counts must match a
+// string-keyed recount of the retained records whenever retention covers
+// the whole window.
+TEST(Trace, CountsMatchRecordsWhileRetentionIsComplete) {
+  Trace t;
+  t.emit(1, "cat.a", "x");
+  t.emit(2, "cat.a", "y");
+  t.emit(3, "cat.b", "x", 7, "detail");
+  EXPECT_TRUE(t.records_complete());
+  EXPECT_TRUE(t.counts_match_records());
+  // An unretained emit legitimately decouples counts from records.
+  t.enable_retention(false);
+  t.emit(4, "cat.a", "x");
+  EXPECT_FALSE(t.records_complete());
+  // clear() restores the invariant.
+  t.enable_retention(true);
+  t.clear();
+  EXPECT_TRUE(t.records_complete());
+  t.emit(5, "cat.a", "x");
+  EXPECT_TRUE(t.counts_match_records());
+}
+
 }  // namespace
