@@ -16,9 +16,13 @@
 // (pedal guarantees its 5 ms sampling period, each wheel assumes a bounded
 // command age), so the generated system carries an online runtime-
 // verification layer: the monitors watch the run live and report into a DEM /
-// mode-management escalation chain. A healthy drive ends with zero
-// violations, no DTCs and the vehicle still in RUN. The last 100 ms of the
-// trace are exported as Chrome trace_event JSON and CSV histograms.
+// mode-management escalation chain — and the chain is a closed loop. The
+// drive injects a pedal-sensor fault twice: each time the violation budget
+// is exceeded, a DTC matures, the vehicle degrades and the sensor is
+// quarantined; once the fault clears, conforming windows heal the DTC, it
+// ages out, and the registry releases the quarantine and returns the
+// vehicle to RUN on its own — no manual release() anywhere. The last 100 ms
+// of the trace are exported as Chrome trace_event JSON and CSV histograms.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -51,14 +55,20 @@ int main() {
   iforce.elements.push_back(vfb::DataElement{"cmd", 64, 0, false});
   model.add_interface(iforce);
 
-  // Pedal sensor: 5 ms sampling, 100 us execution.
+  // Pedal sensor: 5 ms sampling, 100 us execution. The injectable fault
+  // drops every other sample — the implemented rate halves to 10 ms,
+  // breaking the 5 ms guarantee while the task itself still runs on time
+  // (invisible to the scheduler, caught by the arrival monitor).
+  bool pedal_fault = false;
+  int fault_skip = 0;
   vfb::Runnable sample;
   sample.name = "sample";
   sample.trigger = vfb::RunnableTrigger::timing(sim::milliseconds(5));
   sample.execution_time = [] { return sim::microseconds(100); };
   sample.accesses.push_back(
       {"pedal", "stamp", vfb::DataAccessKind::kExplicitWrite});
-  sample.behavior = [](vfb::RunnableContext& ctx) {
+  sample.behavior = [&pedal_fault, &fault_skip](vfb::RunnableContext& ctx) {
+    if (pedal_fault && (++fault_skip % 2 == 0)) return;
     ctx.write("pedal", "stamp", static_cast<std::uint64_t>(ctx.now()));
   };
   model.add_type({"PedalSensor",
@@ -129,29 +139,76 @@ int main() {
   plan.instances["pedal"] = {.ecu = "pedal_ecu"};
   plan.instances["brake"] = {.ecu = "brake_ecu"};
   for (const auto& w : wheels) plan.instances[w] = {.ecu = w + "_ecu"};
+  // Closed-loop recovery target: when the last contract DTC ages out, the
+  // registry requests RUN again (and releases the RTE quarantine).
+  plan.recovery_mode = "RUN";
 
   sim::Kernel kernel;
   sim::Trace trace;
   trace.enable_retention(false);
   vfb::System sys(kernel, trace, model, plan);
 
-  // Health-management escalation chain: contract violations debounce into
-  // DEM DTCs; three strikes switch the vehicle to DEGRADED (which also
-  // quarantines the offending component's outputs at its RTE).
+  // Health-management escalation chain: over-budget contract violations
+  // debounce into DEM DTCs; three strikes switch the vehicle to DEGRADED
+  // (which also quarantines the offending component's outputs at its RTE).
+  // The DEGRADED -> RUN transition is what the recovery path takes.
   bsw::Dem dem(kernel, trace);
   bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
   modes.add_mode("DEGRADED");
   modes.add_transition("RUN", "DEGRADED");
-  sys.monitors()->report_to(dem, /*debounce_threshold=*/3);
+  modes.add_transition("DEGRADED", "RUN");
+  sys.monitors()->report_to(dem, /*debounce_threshold=*/3,
+                            /*aging_cycles=*/3);
   sys.monitors()->escalate_to(modes, "DEGRADED", /*threshold=*/3);
 
-  // Drive 9.9 s unretained (counts and monitors keep working), then retain
-  // the last 100 ms for the timeline/ histogram exports.
-  sys.run_for(sim::milliseconds(9900));
-  trace.enable_retention(true);
-  sys.run_for(sim::milliseconds(100));
+  // One operation cycle = 100 ms of driving, then the rv heartbeat: flush
+  // closes the evaluation window (reporting passed/failed per contract)
+  // and the DEM ages healed DTCs.
+  const auto heartbeat = [&] {
+    sys.run_for(sim::milliseconds(100));
+    sys.monitors()->flush();
+    dem.operation_cycle_end();
+  };
+  const auto drive_until = [&](int max_beats, const auto& done) {
+    for (int i = 0; i < max_beats && !done(); ++i) heartbeat();
+  };
+  const auto escalated = [&] { return sys.monitors()->escalated(); };
+  const auto recovered = [&] { return !sys.monitors()->escalated(); };
 
-  std::puts("brake-by-wire over FlexRay, 10 s of driving");
+  // Phase 1: 2 s of nominal driving.
+  for (int i = 0; i < 20; ++i) heartbeat();
+  const bool clean_start = sys.monitors()->health().healthy();
+
+  // Phase 2: pedal fault — rate budget exceeded, DTC, DEGRADED, quarantine.
+  pedal_fault = true;
+  drive_until(10, escalated);
+  const sim::Time degraded_at = kernel.now();
+  const bool quarantined_once =
+      sys.rte("pedal_ecu").is_quarantined("pedal") && modes.in("DEGRADED");
+
+  // Phase 3: fault removed — the quarantined sensor's suppressed writes
+  // prove conformance, the DTC heals and ages out, the registry releases
+  // the quarantine and requests RUN again.
+  pedal_fault = false;
+  drive_until(30, recovered);
+  const sim::Time recovered_at = kernel.now();
+
+  // Phase 4 & 5: the loop re-armed itself — a re-injected fault degrades
+  // again, and clears again.
+  pedal_fault = true;
+  drive_until(10, escalated);
+  const sim::Time redegraded_at = kernel.now();
+  pedal_fault = false;
+  drive_until(30, recovered);
+  const sim::Time rerecovered_at = kernel.now();
+
+  // Final stretch: cruise, retaining the last 100 ms for the exports.
+  for (int i = 0; i < 9; ++i) heartbeat();
+  trace.enable_retention(true);
+  heartbeat();
+
+  std::printf("brake-by-wire over FlexRay, %.1f s of driving\n",
+              sim::to_ms(kernel.now()) / 1000.0);
   std::printf("  pedal samples     : %llu\n",
               static_cast<unsigned long long>(
                   sys.task_of("pedal", sim::milliseconds(5))->jobs_completed()));
@@ -178,10 +235,26 @@ int main() {
   std::printf("  rv monitors       : %zu (%llu records routed)\n",
               rvr.monitor_count(),
               static_cast<unsigned long long>(rvr.records_routed()));
-  std::printf("  rv violations     : %zu  dtcs: %zu  mode: %s\n",
-              rvr.health().total(), dem.stored_dtcs().size(),
-              modes.current().c_str());
-  if (!rvr.health().healthy()) std::fputs(rvr.health().render().c_str(), stdout);
+  std::printf("  rv violations     : %zu  dtcs: %zu\n", rvr.health().total(),
+              dem.stored_dtcs().size());
+
+  // Closed-loop recovery verdict (§2: error handling used for mode
+  // management) — violate -> degrade -> heal -> age out -> recover, twice.
+  const bool quarantine_lifted =
+      !sys.rte("pedal_ecu").is_quarantined("pedal");
+  const bool fully_recovered =
+      modes.in("RUN") && !rvr.escalated() && rvr.recoveries() == 2;
+  std::printf("  fault timeline    : degraded @ %.1f s, recovered @ %.1f s, "
+              "re-degraded @ %.1f s, re-recovered @ %.1f s\n",
+              sim::to_ms(degraded_at) / 1000.0,
+              sim::to_ms(recovered_at) / 1000.0,
+              sim::to_ms(redegraded_at) / 1000.0,
+              sim::to_ms(rerecovered_at) / 1000.0);
+  std::printf("  recoveries        : %llu (automatic, DTC aging driven)\n",
+              static_cast<unsigned long long>(rvr.recoveries()));
+  std::printf("  final mode        : %s%s\n", modes.current().c_str(),
+              fully_recovered ? " (recovered)" : "");
+  std::printf("  quarantine lifted : %s\n", quarantine_lifted ? "yes" : "no");
 
   const std::string json = rv::to_chrome_trace(trace.records());
   const std::string csv = rv::to_csv_histograms(trace.records());
@@ -192,7 +265,7 @@ int main() {
       "/tmp/brake_by_wire_hist.csv (%zu bytes)\n",
       json.size(), csv.size());
 
-  const bool ok = e2e_ms.max() <= sim::to_ms(bound.worst) &&
-                  rvr.health().healthy() && modes.in("RUN");
+  const bool ok = e2e_ms.max() <= sim::to_ms(bound.worst) && clean_start &&
+                  quarantined_once && fully_recovered && quarantine_lifted;
   return ok ? 0 : 1;
 }

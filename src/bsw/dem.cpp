@@ -28,6 +28,13 @@ void Dem::report(std::string_view event, EventStatus status) {
   EventState& st = it->second;
   if (status == EventStatus::kFailed) {
     if (st.debounce < st.cfg.debounce_threshold) ++st.debounce;
+    if (st.failed) {
+      // The fault is still present: keep the stored DTC's freshness
+      // timestamp moving so testers see *when* it last misbehaved, not
+      // just when it latched.
+      auto dit = dtcs_.find(st.cfg.name);
+      if (dit != dtcs_.end()) dit->second.last_occurrence = kernel_.now();
+    }
     if (!st.failed && st.debounce >= st.cfg.debounce_threshold) {
       st.failed = true;
       auto [dit, fresh] = dtcs_.try_emplace(st.cfg.name);
@@ -57,6 +64,9 @@ void Dem::report(std::string_view event, EventStatus status) {
 }
 
 void Dem::operation_cycle_end() {
+  // Collect first, notify after the sweep: callbacks may query stored_dtcs()
+  // or report events, which must not race the erase loop.
+  std::vector<Dtc> aged_out;
   for (auto it = dtcs_.begin(); it != dtcs_.end();) {
     Dtc& dtc = it->second;
     if (!dtc.confirmed) {
@@ -66,11 +76,15 @@ void Dem::operation_cycle_end() {
           eit != events_.end() ? eit->second.cfg.aging_cycles : 3;
       if (dtc.aged >= limit) {
         trace_.emit(kernel_.now(), "dem.dtc_aged_out", dtc.event);
+        aged_out.push_back(dtc);
         it = dtcs_.erase(it);
         continue;
       }
     }
     ++it;
+  }
+  for (const auto& dtc : aged_out) {
+    for (const auto& cb : aged_out_callbacks_) cb(dtc);
   }
 }
 

@@ -65,6 +65,15 @@ class Dem {
   /// Invoked when an event first latches (fresh DTC or re-occurrence).
   void on_dtc_stored(DtcCallback cb) { callbacks_.push_back(std::move(cb)); }
 
+  /// Invoked when a healed DTC completes aging and is erased (receives a
+  /// copy of its final state). Fires after the whole aging sweep of an
+  /// operation cycle, so callbacks may query/report this Dem freely — this
+  /// is the hook the rv layer uses to close the error-handling loop
+  /// (release quarantine, request recovery mode).
+  void on_aged_out(DtcCallback cb) {
+    aged_out_callbacks_.push_back(std::move(cb));
+  }
+
  private:
   struct EventState {
     DemEventConfig cfg;
@@ -77,6 +86,7 @@ class Dem {
   std::map<std::string, EventState, std::less<>> events_;
   std::map<std::string, Dtc, std::less<>> dtcs_;
   std::vector<DtcCallback> callbacks_;
+  std::vector<DtcCallback> aged_out_callbacks_;
   std::uint64_t reports_ = 0;
 };
 

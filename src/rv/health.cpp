@@ -1,15 +1,58 @@
 #include "rv/health.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "sim/time.hpp"
 
 namespace orte::rv {
 
+std::uint64_t HealthReport::ContractStats::tolerated() const {
+  if (confidence >= 1.0) return 0;
+  const double allowance =
+      (1.0 - confidence) * static_cast<double>(window_observations());
+  // The epsilon keeps budgets like (1 - 0.999) * 1000 == 1 exact despite
+  // the binary representation of the confidence.
+  return static_cast<std::uint64_t>(std::floor(allowance + 1e-9));
+}
+
 void HealthReport::record(const Violation& v) {
   violations_.push_back(v);
+  if (retention_ > 0 && violations_.size() > retention_) {
+    violations_.pop_front();
+  }
+  ++total_;
   ++by_kind_[v.kind];
   ++by_contract_[v.contract];
+  ContractStats& stats = contract_stats_[v.contract];
+  ++stats.violating;
+  if (v.confidence < stats.confidence) stats.confidence = v.confidence;
+}
+
+void HealthReport::note_observations(std::string_view contract,
+                                     std::uint64_t total, double confidence) {
+  auto it = contract_stats_.find(contract);
+  if (it == contract_stats_.end()) {
+    it = contract_stats_.emplace(std::string(contract), ContractStats{}).first;
+  }
+  ContractStats& stats = it->second;
+  // Monitor observation counts are cumulative; never move backwards.
+  if (total > stats.observations) stats.observations = total;
+  if (confidence < stats.confidence) stats.confidence = confidence;
+}
+
+void HealthReport::close_window(std::string_view contract) {
+  auto it = contract_stats_.find(contract);
+  if (it == contract_stats_.end()) return;
+  it->second.window_base_violating = it->second.violating;
+  it->second.window_base_observations = it->second.observations;
+}
+
+void HealthReport::close_windows() {
+  for (auto& [contract, stats] : contract_stats_) {
+    stats.window_base_violating = stats.violating;
+    stats.window_base_observations = stats.observations;
+  }
 }
 
 std::size_t HealthReport::count_kind(std::string_view kind) const {
@@ -20,6 +63,12 @@ std::size_t HealthReport::count_kind(std::string_view kind) const {
 std::size_t HealthReport::count_contract(std::string_view contract) const {
   auto it = by_contract_.find(contract);
   return it == by_contract_.end() ? 0 : it->second;
+}
+
+const HealthReport::ContractStats* HealthReport::stats(
+    std::string_view contract) const {
+  auto it = contract_stats_.find(contract);
+  return it == contract_stats_.end() ? nullptr : &it->second;
 }
 
 std::vector<Violation> HealthReport::for_contract(
@@ -37,7 +86,11 @@ std::string HealthReport::render() const {
     os << "health: OK (0 violations)\n";
     return os.str();
   }
-  os << "health: " << violations_.size() << " violation(s)\n";
+  os << "health: " << total_ << " violation(s)";
+  if (violations_.size() < total_) {
+    os << " (showing last " << violations_.size() << ")";
+  }
+  os << "\n";
   for (const auto& v : violations_) {
     os << "  [" << v.kind << "] " << v.contract << " @ " << v.subject
        << ": observed " << v.observed << " vs bound " << v.bound << " at t="
@@ -49,10 +102,19 @@ std::string HealthReport::render() const {
   return os.str();
 }
 
+void HealthReport::set_retention(std::size_t cap) {
+  retention_ = cap;
+  if (retention_ > 0) {
+    while (violations_.size() > retention_) violations_.pop_front();
+  }
+}
+
 void HealthReport::clear() {
   violations_.clear();
+  total_ = 0;
   by_kind_.clear();
   by_contract_.clear();
+  contract_stats_.clear();
 }
 
 }  // namespace orte::rv

@@ -3,9 +3,20 @@
 // the envelope its contract promised; the HealthReport aggregates them into
 // a queryable per-run health state (the paper's "consistent and non
 // ambiguous error handling" applied to contract conformance).
+//
+// Health is *rate-based*: every contract spec carries a confidence level
+// ("reflecting design experience on the ability to meet the specification",
+// §3), so a violation is not binary evidence of a broken component — a
+// 99.9 %-confidence spec expects up to 1 non-conforming observation per
+// 1000. The report therefore tracks, per contract, the total number of
+// judged observations alongside the violating ones and derives a *violation
+// budget*: tolerated = ⌊(1 − confidence) · observations⌋. A contract is
+// over budget only when its violating count exceeds that allowance —
+// following the rate-based checking of Nandi et al.'s stochastic contracts.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <string_view>
@@ -32,29 +43,99 @@ struct Violation {
 };
 
 /// Aggregated, queryable violation log for one run.
+///
+/// Two layers of bookkeeping:
+///  * an exact set of counters (total, per-kind, per-contract, per-contract
+///    rate stats) that never lose precision, and
+///  * a bounded log of the most recent `Violation` records for diagnosis —
+///    soak runs cannot grow it without limit (see set_retention()).
 class HealthReport {
  public:
+  /// Default bound on stored Violation records (counters stay exact).
+  static constexpr std::size_t kDefaultRetention = 4096;
+
+  /// Per-contract conformance-rate statistics. `violating`/`observations`
+  /// are cumulative and exact; the *window* view covers everything since
+  /// the last close_window() (the registry closes windows at flush()), so
+  /// budget verdicts judge the current evaluation period, not all history —
+  /// a contract that violated long ago can prove itself healthy again.
+  struct ContractStats {
+    std::uint64_t violating = 0;     ///< Judged observations that violated.
+    std::uint64_t observations = 0;  ///< All judged observations (fed by the
+                                     ///< registry from Monitor::observations).
+    double confidence = 1.0;         ///< Strictest spec confidence seen.
+
+    [[nodiscard]] std::uint64_t window_violating() const {
+      return violating - window_base_violating;
+    }
+    [[nodiscard]] std::uint64_t window_observations() const {
+      return observations > window_base_observations
+                 ? observations - window_base_observations
+                 : 0;
+    }
+    /// Violation budget of the current window:
+    /// ⌊(1 − confidence) · window_observations⌋ (an epsilon absorbs the
+    /// binary representation of confidences like 0.999).
+    [[nodiscard]] std::uint64_t tolerated() const;
+    /// Budget exceeded: strictly more window violations than tolerated, so
+    /// violations == tolerated is still healthy (the exact-budget boundary).
+    [[nodiscard]] bool over_budget() const {
+      return window_violating() > tolerated();
+    }
+
+    std::uint64_t window_base_violating = 0;
+    std::uint64_t window_base_observations = 0;
+  };
+
   void record(const Violation& v);
 
-  [[nodiscard]] const std::vector<Violation>& violations() const {
+  /// Feed the cumulative judged-observation count for `contract` (the
+  /// registry sums Monitor::observations() over the contract's monitors)
+  /// together with the strictest confidence any of those monitors carries.
+  void note_observations(std::string_view contract, std::uint64_t total,
+                         double confidence);
+
+  /// Close `contract`'s evaluation window: subsequent budget verdicts judge
+  /// only observations recorded from now on.
+  void close_window(std::string_view contract);
+  /// Close every contract's evaluation window.
+  void close_windows();
+
+  /// Most recent violations, oldest first (bounded by set_retention()).
+  [[nodiscard]] const std::deque<Violation>& violations() const {
     return violations_;
   }
-  [[nodiscard]] std::size_t total() const { return violations_.size(); }
-  [[nodiscard]] bool healthy() const { return violations_.empty(); }
+  /// Exact number of violations ever recorded (survives log eviction).
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] bool healthy() const { return total_ == 0; }
   [[nodiscard]] std::size_t count_kind(std::string_view kind) const;
   [[nodiscard]] std::size_t count_contract(std::string_view contract) const;
-  /// Violations of `contract`, in raise order.
+  /// Rate statistics of `contract`; nullptr when it never appeared.
+  [[nodiscard]] const ContractStats* stats(std::string_view contract) const;
+  [[nodiscard]] const std::map<std::string, ContractStats, std::less<>>&
+  contract_stats() const {
+    return contract_stats_;
+  }
+  /// Still-retained violations of `contract`, in raise order.
   [[nodiscard]] std::vector<Violation> for_contract(
       std::string_view contract) const;
   /// Human-readable one-line-per-violation summary (diagnosis, examples).
   [[nodiscard]] std::string render() const;
 
+  /// Bound the stored Violation log (0 = unbounded). Evicts oldest records
+  /// immediately if over the new cap; all counters keep their exact values.
+  void set_retention(std::size_t cap);
+  [[nodiscard]] std::size_t retention() const { return retention_; }
+
   void clear();
 
  private:
-  std::vector<Violation> violations_;
+  std::deque<Violation> violations_;
+  std::size_t retention_ = kDefaultRetention;
+  std::size_t total_ = 0;
   std::map<std::string, std::size_t, std::less<>> by_kind_;
   std::map<std::string, std::size_t, std::less<>> by_contract_;
+  std::map<std::string, ContractStats, std::less<>> contract_stats_;
 };
 
 }  // namespace orte::rv

@@ -13,14 +13,25 @@ void Monitor::raise(Violation v) {
 // --- ArrivalMonitor -----------------------------------------------------------
 
 ArrivalMonitor::ArrivalMonitor(ArrivalSpec spec)
-    : Monitor(spec.contract), spec_(std::move(spec)) {}
+    : Monitor(spec.contract, spec.confidence), spec_(std::move(spec)) {}
 
 std::vector<Monitor::Subscription> ArrivalMonitor::subscriptions() const {
-  return {{spec_.category, spec_.subject}};
+  std::vector<Subscription> subs{{spec_.category, spec_.subject}};
+  if (spec_.observe_quarantined) {
+    // Suppressed writes of a quarantined component still document its
+    // update rate; judging them keeps the rehabilitation loop honest.
+    subs.push_back({"rte.quarantine_drop", spec_.subject});
+  }
+  return subs;
 }
 
 void ArrivalMonitor::prepare(sim::Trace& trace) {
   subject_id_ = trace.intern_subject(spec_.subject);
+}
+
+void ArrivalMonitor::resync() {
+  last_ = -1;
+  streak_ = 0;
 }
 
 void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
@@ -29,6 +40,7 @@ void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
   const sim::Time prev = last_;
   last_ = rec.when;
   if (prev < 0 || spec_.period <= 0) return;
+  note_observation();
   const sim::Duration interval = rec.when - prev;
   const sim::Duration deviation = std::llabs(interval - spec_.period);
   Violation v;
@@ -57,7 +69,7 @@ void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
 // --- DeadlineMonitor ----------------------------------------------------------
 
 DeadlineMonitor::DeadlineMonitor(DeadlineSpec spec)
-    : Monitor(spec.contract), spec_(std::move(spec)) {}
+    : Monitor(spec.contract, spec.confidence), spec_(std::move(spec)) {}
 
 std::vector<Monitor::Subscription> DeadlineMonitor::subscriptions() const {
   return {{"task.deadline_miss", spec_.task}, {"task.complete", spec_.task}};
@@ -68,9 +80,12 @@ void DeadlineMonitor::prepare(sim::Trace& trace) {
   miss_category_id_ = trace.intern_category("task.deadline_miss");
 }
 
+void DeadlineMonitor::resync() { miss_streak_ = 0; }
+
 void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
   if (rec.subject_id != task_id_) return;
   if (rec.category_id == miss_category_id_) {
+    note_observation();
     Violation v;
     v.contract = contract_;
     v.subject = spec_.task;
@@ -85,6 +100,7 @@ void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
   }
   // task.complete: record value carries the response time in ns.
   ++completions_;
+  note_observation();
   if (rec.value <= spec_.deadline) miss_streak_ = 0;
   if (spec_.response_bound > 0 && rec.value > spec_.response_bound) {
     Violation v;
@@ -102,7 +118,7 @@ void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
 // --- LatencyMonitor -----------------------------------------------------------
 
 LatencyMonitor::LatencyMonitor(LatencySpec spec)
-    : Monitor(spec.contract), spec_(std::move(spec)) {}
+    : Monitor(spec.contract, spec.confidence), spec_(std::move(spec)) {}
 
 std::vector<Monitor::Subscription> LatencyMonitor::subscriptions() const {
   return {{spec_.source_category, spec_.source_subject},
@@ -116,6 +132,11 @@ void LatencyMonitor::prepare(sim::Trace& trace) {
   sink_subject_id_ = trace.intern_subject(spec_.sink_subject);
 }
 
+void LatencyMonitor::resync() {
+  in_flight_.clear();
+  streak_ = 0;
+}
+
 void LatencyMonitor::observe(const sim::TraceRecord& rec) {
   if (rec.category_id == source_category_id_ &&
       rec.subject_id == source_subject_id_) {
@@ -123,6 +144,7 @@ void LatencyMonitor::observe(const sim::TraceRecord& rec) {
     if (in_flight_.size() > spec_.max_in_flight) {
       // The sink fell behind by a full window: the oldest cause will never
       // be matched — report the age it reached before dropping it.
+      note_observation();
       Violation v;
       v.contract = contract_;
       v.subject = spec_.source_subject + " -> " + spec_.sink_subject;
@@ -148,6 +170,7 @@ void LatencyMonitor::observe(const sim::TraceRecord& rec) {
   in_flight_.pop_front();
   const sim::Duration latency = rec.when - cause;
   ++samples_;
+  note_observation();
   if (latency > worst_) worst_ = latency;
   if (spec_.bound > 0 && latency > spec_.bound) {
     Violation v;
@@ -168,7 +191,7 @@ void LatencyMonitor::observe(const sim::TraceRecord& rec) {
 // --- AutomatonMonitor ---------------------------------------------------------
 
 AutomatonMonitor::AutomatonMonitor(AutomatonSpec spec)
-    : Monitor(spec.contract),
+    : Monitor(spec.contract, spec.confidence),
       spec_(std::move(spec)),
       stepper_(spec_.automaton) {}
 
@@ -203,6 +226,11 @@ void AutomatonMonitor::observe(const sim::TraceRecord& rec) {
   }
   if (rule == nullptr) return;
   ++events_;
+  note_observation();
+  if (anchor_pending_) {
+    last_event_ = rec.when;
+    anchor_pending_ = false;
+  }
   const sim::Duration tick = spec_.tick > 0 ? spec_.tick : 1;
   const std::int64_t delay = (rec.when - last_event_) / tick;
   last_event_ = rec.when;
@@ -229,6 +257,12 @@ void AutomatonMonitor::observe(const sim::TraceRecord& rec) {
   // not blind the observer for the rest of the run.
   stepper_.reset();
   raise(std::move(v));
+}
+
+void AutomatonMonitor::resync() {
+  stepper_.reset();
+  streak_ = 0;
+  anchor_pending_ = true;
 }
 
 }  // namespace orte::rv

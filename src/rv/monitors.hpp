@@ -53,19 +53,36 @@ class Monitor {
 
   virtual void observe(const sim::TraceRecord& rec) = 0;
 
+  /// Re-anchor incremental expectations after a gap the monitor must not
+  /// judge (the registry calls this when a contract is rehabilitated after
+  /// a DTC aged out): forget the last arrival / pending causes / automaton
+  /// progress, keep the cumulative observation count.
+  virtual void resync() {}
+
   void bind(Sink sink) { sink_ = std::move(sink); }
   [[nodiscard]] const std::string& contract() const { return contract_; }
   [[nodiscard]] std::uint64_t raised() const { return raised_; }
+  /// Total judged observations (conforming and violating alike) — the
+  /// denominator of the contract's violation budget. The registry sums this
+  /// per contract (MonitorRegistry::flush) to drive rate-based health.
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+  /// Confidence of the spec this monitor enforces (budget numerator side).
+  [[nodiscard]] double confidence() const { return confidence_; }
 
  protected:
-  explicit Monitor(std::string contract) : contract_(std::move(contract)) {}
+  explicit Monitor(std::string contract, double confidence = 1.0)
+      : contract_(std::move(contract)), confidence_(confidence) {}
   void raise(Violation v);
+  /// Count one judged observation (call once per verdict, either way).
+  void note_observation() { ++observations_; }
 
   std::string contract_;
 
  private:
   Sink sink_;
   std::uint64_t raised_ = 0;
+  std::uint64_t observations_ = 0;
+  double confidence_ = 1.0;
 };
 
 // --- Arrival-rate / jitter ----------------------------------------------------
@@ -82,6 +99,11 @@ struct ArrivalSpec {
   sim::Duration period = 0;  ///< Contracted update period (ns); 0 = skip.
   sim::Duration jitter = 0;  ///< Allowed deviation from the period (ns).
   double confidence = 1.0;
+  /// Also watch "rte.quarantine_drop" of the same subject, so a quarantined
+  /// component stays under observation through its suppressed writes — the
+  /// DEM can only certify recovery (and age the contract's DTC out) if the
+  /// component demonstrably behaves again while still sanctioned.
+  bool observe_quarantined = true;
 };
 
 class ArrivalMonitor final : public Monitor {
@@ -90,6 +112,7 @@ class ArrivalMonitor final : public Monitor {
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
+  void resync() override;
   [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
 
  private:
@@ -121,6 +144,7 @@ class DeadlineMonitor final : public Monitor {
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
+  void resync() override;
   [[nodiscard]] std::uint64_t completions() const { return completions_; }
 
  private:
@@ -160,6 +184,7 @@ class LatencyMonitor final : public Monitor {
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
+  void resync() override;
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] sim::Duration worst() const { return worst_; }
 
@@ -202,6 +227,7 @@ class AutomatonMonitor final : public Monitor {
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
   void observe(const sim::TraceRecord& rec) override;
+  void resync() override;
   [[nodiscard]] std::uint64_t events() const { return events_; }
   [[nodiscard]] int location() const { return stepper_.location(); }
 
@@ -217,6 +243,7 @@ class AutomatonMonitor final : public Monitor {
   std::vector<RuleIds> rule_ids_;  ///< Parallel to spec_.labels.
   contracts::TimedAutomaton::Stepper stepper_;
   sim::Time last_event_ = 0;
+  bool anchor_pending_ = false;  ///< Next event re-anchors time (resync()).
   std::uint64_t events_ = 0;
   std::uint64_t streak_ = 0;
 };

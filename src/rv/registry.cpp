@@ -7,6 +7,28 @@
 
 namespace orte::rv {
 
+namespace {
+
+/// The offending instance is the first path segment of the subject
+/// ("instance.port.element" flow keys, "tk|instance|..." task names, or a
+/// bare instance name).
+std::string instance_of(const std::string& subject) {
+  std::string instance = subject;
+  if (instance.rfind("tk|", 0) == 0) {
+    instance = instance.substr(3);
+    const auto bar = instance.find('|');
+    if (bar != std::string::npos) instance.resize(bar);
+  } else {
+    const auto dot = instance.find('.');
+    if (dot != std::string::npos) instance.resize(dot);
+  }
+  return instance;
+}
+
+constexpr std::string_view kDemPrefix = "rv.";
+
+}  // namespace
+
 std::uint32_t contract_dtc_code(std::string_view contract) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a
   for (const char c : contract) {
@@ -41,6 +63,7 @@ MonitorRegistry::MonitorRegistry(sim::Trace& trace) : trace_(trace) {
 void MonitorRegistry::attach(Monitor& monitor) {
   monitor.bind([this](const Violation& v) { handle(v); });
   monitor.prepare(trace_);
+  contracts_[monitor.contract()].monitors.push_back(&monitor);
   const auto subs = monitor.subscriptions();
   const auto enter = [&monitor](std::vector<Monitor*>& bucket) {
     if (std::find(bucket.begin(), bucket.end(), &monitor) == bucket.end()) {
@@ -104,6 +127,10 @@ void MonitorRegistry::report_to(bsw::Dem& dem,
   dem_ = &dem;
   dem_threshold_ = debounce_threshold;
   dem_aging_ = aging_cycles;
+  if (!dem_subscribed_) {
+    dem_subscribed_ = true;
+    dem.on_aged_out([this](const bsw::Dtc& dtc) { handle_aged_out(dtc); });
+  }
 }
 
 void MonitorRegistry::escalate_to(bsw::ModeMachine& modes,
@@ -118,56 +145,154 @@ void MonitorRegistry::quarantine_with(QuarantineHook hook) {
   quarantine_ = std::move(hook);
 }
 
+void MonitorRegistry::release_with(ReleaseHook hook) {
+  release_ = std::move(hook);
+}
+
+void MonitorRegistry::recover_to(std::string recovery_mode) {
+  recovery_mode_ = std::move(recovery_mode);
+}
+
+void MonitorRegistry::set_warmup(std::uint64_t min_observations) {
+  warmup_ = min_observations;
+}
+
 void MonitorRegistry::on_violation(ViolationCallback cb) {
   callbacks_.push_back(std::move(cb));
 }
 
+void MonitorRegistry::sync_observations(const std::string& contract,
+                                        const ContractCtx& ctx) {
+  std::uint64_t total = 0;
+  double confidence = 1.0;
+  for (const Monitor* m : ctx.monitors) {
+    total += m->observations();
+    if (m->confidence() < confidence) confidence = m->confidence();
+  }
+  health_.note_observations(contract, total, confidence);
+}
+
+bool MonitorRegistry::judged_over_budget(
+    const HealthReport::ContractStats& stats) const {
+  return stats.window_observations() >= warmup_ && stats.over_budget();
+}
+
+void MonitorRegistry::report_budget_to_dem(const std::string& contract,
+                                           bool over) {
+  const std::string event = std::string(kDemPrefix) + contract;
+  if (dem_events_.insert(event).second) {
+    try {
+      dem_->add_event(
+          {event, dem_threshold_, dem_aging_, contract_dtc_code(contract)});
+    } catch (const std::invalid_argument&) {
+      // Already registered by the user (e.g. with a custom DTC code).
+    }
+  }
+  dem_->report(event,
+               over ? bsw::EventStatus::kFailed : bsw::EventStatus::kPassed);
+}
+
 void MonitorRegistry::handle(const Violation& v) {
   health_.record(v);
+  ContractCtx& ctx = contracts_[v.contract];
+  ctx.last_violation = v;
+  ctx.has_violation = true;
+  sync_observations(v.contract, ctx);
 
-  if (dem_ != nullptr) {
-    const std::string event = "rv." + v.contract;
-    if (dem_events_.insert(event).second) {
-      try {
-        dem_->add_event({event, dem_threshold_, dem_aging_,
-                         contract_dtc_code(v.contract)});
-      } catch (const std::invalid_argument&) {
-        // Already registered by the user (e.g. with a custom DTC code).
-      }
-    }
-    dem_->report(event, bsw::EventStatus::kFailed);
-  }
+  // The budget verdict decides everything downstream: a violation within a
+  // sub-1.0-confidence spec's tolerated rate is recorded for diagnosis but
+  // neither maintained in the DEM nor escalated.
+  const HealthReport::ContractStats* stats = health_.stats(v.contract);
+  const bool over = stats != nullptr && judged_over_budget(*stats);
+
+  if (dem_ != nullptr && over) report_budget_to_dem(v.contract, true);
 
   for (const auto& cb : callbacks_) cb(v);
 
   // Escalation must be armed explicitly (escalate_to): the quarantine hook
   // alone — pre-wired by vfb::System — must not sanction anyone unless the
   // integrator opted into a degraded mode.
-  if (!escalated_ && modes_ != nullptr &&
-      health_.total() >= escalation_threshold_) {
-    escalated_ = true;
-    if (modes_ != nullptr) modes_->request(degraded_mode_);
-    if (quarantine_) {
-      // The offending instance is the first path segment of the subject
-      // ("instance.port.element" flow keys, "tk|instance|..." task names,
-      // or a bare instance name).
-      std::string instance = v.subject;
-      if (instance.rfind("tk|", 0) == 0) {
-        instance = instance.substr(3);
-        const auto bar = instance.find('|');
-        if (bar != std::string::npos) instance.resize(bar);
-      } else {
-        const auto dot = instance.find('.');
-        if (dot != std::string::npos) instance.resize(dot);
+  if (!escalated_ && modes_ != nullptr && over && stats != nullptr &&
+      stats->window_violating() >= escalation_threshold_) {
+    escalate(v);
+  }
+}
+
+void MonitorRegistry::escalate(const Violation& cause) {
+  escalated_ = true;
+  pre_escalation_mode_ = modes_->current();
+  modes_->request(degraded_mode_);
+  if (quarantine_) {
+    const std::string instance = instance_of(cause.subject);
+    contracts_[cause.contract].quarantined_instance = instance;
+    quarantine_(instance, cause);
+  }
+}
+
+void MonitorRegistry::flush() {
+  for (auto& [contract, ctx] : contracts_) {
+    sync_observations(contract, ctx);
+  }
+  for (const auto& [contract, stats] : health_.contract_stats()) {
+    const bool judged = stats.window_observations() >= warmup_;
+    const bool over = judged && stats.over_budget();
+    // Only contracts the DEM already knows get passed-reports: a contract
+    // that never went over budget has no event to heal, and inventing one
+    // would pollute the event table.
+    if (dem_ != nullptr &&
+        (over || dem_events_.count(std::string(kDemPrefix) + contract) > 0)) {
+      report_budget_to_dem(contract, over);
+    }
+    if (!escalated_ && modes_ != nullptr && over &&
+        stats.window_violating() >= escalation_threshold_) {
+      auto it = contracts_.find(contract);
+      if (it != contracts_.end() && it->second.has_violation) {
+        escalate(it->second.last_violation);
       }
-      quarantine_(instance, v);
     }
   }
+  health_.close_windows();
+}
+
+void MonitorRegistry::handle_aged_out(const bsw::Dtc& dtc) {
+  if (dtc.event.rfind(kDemPrefix, 0) != 0) return;
+  if (dem_events_.find(dtc.event) == dem_events_.end()) return;
+  const std::string contract = dtc.event.substr(kDemPrefix.size());
+
+  auto it = contracts_.find(contract);
+  if (it != contracts_.end()) {
+    if (!it->second.quarantined_instance.empty()) {
+      if (release_) release_(it->second.quarantined_instance);
+      it->second.quarantined_instance.clear();
+    }
+    // The sanction gap must not be judged: re-anchor incremental state so
+    // the first post-release observation starts a fresh interval/chain.
+    for (Monitor* m : it->second.monitors) m->resync();
+  }
+  health_.close_window(contract);
+
+  // Recovery: once no contract DTC remains stored, the degraded episode is
+  // over — return to the declared recovery mode (or the mode that was
+  // current when escalation fired) and re-arm.
+  if (!escalated_ || modes_ == nullptr) return;
+  for (const auto& event : dem_events_) {
+    if (dem_->dtc(event).has_value()) return;  // another contract still sick
+  }
+  escalated_ = false;
+  ++recoveries_;
+  const std::string& target =
+      recovery_mode_.empty() ? pre_escalation_mode_ : recovery_mode_;
+  if (!target.empty()) modes_->request(target);
 }
 
 void MonitorRegistry::reset() {
   health_.clear();
   escalated_ = false;
+  pre_escalation_mode_.clear();
+  for (auto& [contract, ctx] : contracts_) {
+    ctx.quarantined_instance.clear();
+    ctx.has_violation = false;
+  }
 }
 
 }  // namespace orte::rv

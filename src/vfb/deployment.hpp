@@ -66,6 +66,12 @@ struct DeploymentPlan {
   /// observers (zero simulated-time cost); opt out to shed the host-side
   /// dispatch overhead on monitoring-free measurement runs.
   bool runtime_verification = true;
+  /// Mode the rv layer requests when the last contract DTC ages out after a
+  /// degraded-mode escalation (the closed §2 loop: violate → degrade → heal
+  /// → recover). Empty = return to whatever mode was current when the
+  /// escalation fired. The transition back (e.g. DEGRADED -> RUN) must be
+  /// declared on the mode machine handed to escalate_to().
+  std::string recovery_mode;
 };
 
 /// Task-numbering constants shared by the generator and the validator so the

@@ -527,6 +527,15 @@ void System::build_monitors() {
           quarantine(instance);
         }
       });
+  // Rehabilitation reaction: when a contract's DTC ages out, restore the
+  // instance's delivery — the release half of the closed error-handling
+  // loop; no integrator code has to call Rte::release by hand.
+  registry_->release_with([this](const std::string& instance) {
+    if (plan_.instances.find(instance) != plan_.instances.end()) {
+      ctx(deployment(instance).ecu).rte->release(instance);
+    }
+  });
+  registry_->recover_to(plan_.recovery_mode);
 }
 
 void System::quarantine(const std::string& instance) {

@@ -226,6 +226,27 @@ TEST(ModeMachine, SelfRequestIsNoop) {
   EXPECT_EQ(m.transitions(), 0u);
 }
 
+TEST(ModeMachine, SelfRequestFiresNoCallbacks) {
+  // Re-requesting the current mode is an accepted no-op: listeners must not
+  // see a phantom A->A transition (a callback-wired shutdown/startup action
+  // would otherwise run twice).
+  Fixture f;
+  ModeMachine m(f.kernel, f.trace, "M", "A");
+  m.add_mode("B");
+  m.add_transition("A", "B");
+  m.add_transition("B", "B");  // even a declared self-loop stays silent
+  int notified = 0;
+  m.on_transition(
+      [&](const std::string&, const std::string&) { ++notified; });
+  EXPECT_TRUE(m.request("A"));
+  EXPECT_EQ(notified, 0);
+  EXPECT_TRUE(m.request("B"));
+  EXPECT_EQ(notified, 1);
+  EXPECT_TRUE(m.request("B"));  // self-request in the new mode: still silent
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(m.transitions(), 1u);
+}
+
 TEST(ModeMachine, UndeclaredModeInTransitionThrows) {
   Fixture f;
   ModeMachine m(f.kernel, f.trace, "M", "A");
@@ -282,6 +303,44 @@ TEST(Dem, ReoccurrenceIncrementsCount) {
   dem.report("e", EventStatus::kPassed);
   dem.report("e", EventStatus::kFailed);
   EXPECT_EQ(dem.dtc("e")->occurrence_count, 2u);
+}
+
+TEST(Dem, ConfirmedDtcKeepsFreshnessMoving) {
+  // Regression: while an event stayed failed, further failed reports used
+  // to leave last_occurrence frozen at the latch time — a tester reading
+  // the DTC could not tell an old latched fault from one still firing.
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "e", .debounce_threshold = 1});
+  dem.report("e", EventStatus::kFailed);
+  ASSERT_TRUE(dem.dtc("e").has_value());
+  EXPECT_EQ(dem.dtc("e")->last_occurrence, 0);
+
+  f.kernel.run_until(milliseconds(10));
+  dem.report("e", EventStatus::kFailed);
+  EXPECT_EQ(dem.dtc("e")->last_occurrence, milliseconds(10));
+  // Freshness only — the occurrence count still counts latches, and the
+  // first-occurrence timestamp is immutable.
+  EXPECT_EQ(dem.dtc("e")->occurrence_count, 1u);
+  EXPECT_EQ(dem.dtc("e")->first_occurrence, 0);
+}
+
+TEST(Dem, AgedOutCallbackDeliversFinalDtcState) {
+  Fixture f;
+  Dem dem(f.kernel, f.trace);
+  dem.add_event({.name = "e", .debounce_threshold = 1, .aging_cycles = 2});
+  std::vector<Dtc> aged;
+  dem.on_aged_out([&](const Dtc& dtc) { aged.push_back(dtc); });
+  dem.report("e", EventStatus::kFailed);
+  dem.report("e", EventStatus::kPassed);
+  dem.operation_cycle_end();
+  EXPECT_TRUE(aged.empty());  // one fault-free cycle of two
+  dem.operation_cycle_end();
+  ASSERT_EQ(aged.size(), 1u);
+  EXPECT_EQ(aged[0].event, "e");
+  EXPECT_EQ(aged[0].aged, 2u);
+  EXPECT_FALSE(aged[0].confirmed);
+  EXPECT_FALSE(dem.dtc("e").has_value());  // erased before the callback ran
 }
 
 TEST(Dem, CallbackOnStore) {

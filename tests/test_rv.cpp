@@ -5,6 +5,7 @@
 #include <cctype>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -213,6 +214,65 @@ TEST(HealthReport, QueriesAndRender) {
   EXPECT_EQ(hr.count_kind("period"), 0u);
 }
 
+TEST(HealthReport, RetentionCapEvictsLogButKeepsCountersExact) {
+  rv::HealthReport hr;
+  hr.set_retention(3);
+  for (int i = 0; i < 10; ++i) {
+    hr.record({.contract = i % 2 == 0 ? "A" : "B",
+               .subject = "s",
+               .kind = "period",
+               .when = i});
+  }
+  // The log is bounded to the 3 newest records...
+  ASSERT_EQ(hr.violations().size(), 3u);
+  EXPECT_EQ(hr.violations().front().when, 7);
+  EXPECT_EQ(hr.violations().back().when, 9);
+  // ...while every counter stays exact across the eviction.
+  EXPECT_EQ(hr.total(), 10u);
+  EXPECT_EQ(hr.count_kind("period"), 10u);
+  EXPECT_EQ(hr.count_contract("A"), 5u);
+  EXPECT_EQ(hr.count_contract("B"), 5u);
+  ASSERT_NE(hr.stats("A"), nullptr);
+  EXPECT_EQ(hr.stats("A")->violating, 5u);
+  EXPECT_NE(hr.render().find("showing last 3"), std::string::npos);
+  // Tightening the cap evicts immediately; 0 lifts the bound.
+  hr.set_retention(1);
+  EXPECT_EQ(hr.violations().size(), 1u);
+  hr.set_retention(0);
+  hr.record({.contract = "A", .subject = "s", .kind = "period"});
+  EXPECT_EQ(hr.violations().size(), 2u);
+  EXPECT_EQ(hr.total(), 11u);
+}
+
+TEST(HealthReport, ViolationBudgetFollowsConfidence) {
+  rv::HealthReport hr;
+  // 1 violation against 1000 judged observations of a 99.9 %-confidence
+  // spec: tolerated = ⌊0.001 * 1000⌋ = 1 (the epsilon must absorb the
+  // binary representation of 0.999), so the contract is exactly on budget.
+  hr.record({.contract = "C", .subject = "s", .kind = "period",
+             .confidence = 0.999});
+  hr.note_observations("C", 1000, 0.999);
+  const rv::HealthReport::ContractStats* stats = hr.stats("C");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->tolerated(), 1u);
+  EXPECT_EQ(stats->window_violating(), 1u);
+  EXPECT_FALSE(stats->over_budget());
+  // A second violation exceeds the budget.
+  hr.record({.contract = "C", .subject = "s", .kind = "period",
+             .confidence = 0.999});
+  EXPECT_TRUE(hr.stats("C")->over_budget());
+  // Closing the window resets the verdict: only new observations count.
+  hr.close_window("C");
+  EXPECT_EQ(hr.stats("C")->window_violating(), 0u);
+  EXPECT_EQ(hr.stats("C")->window_observations(), 0u);
+  EXPECT_FALSE(hr.stats("C")->over_budget());
+  // Confidence 1.0 tolerates nothing.
+  hr.note_observations("D", 1000000, 1.0);
+  hr.record({.contract = "D", .subject = "s", .kind = "period"});
+  EXPECT_EQ(hr.stats("D")->tolerated(), 0u);
+  EXPECT_TRUE(hr.stats("D")->over_budget());
+}
+
 // --- Registry escalation ------------------------------------------------------
 
 TEST(MonitorRegistry, ViolationsMatureDtcInDem) {
@@ -292,6 +352,290 @@ TEST(MonitorRegistry, RoutesOnlyWatchedCategories) {
   trace.emit(2, "can.tx", "frame");
   EXPECT_EQ(reg.records_routed(), 1u);
   EXPECT_EQ(reg.monitor_count(), 1u);
+}
+
+// --- Violation budgets --------------------------------------------------------
+
+TEST(MonitorRegistry, BudgetToleratesOneInTenThousandAtHighConfidence) {
+  // The acceptance scenario: a 99.9 %-confidence contract that misses its
+  // period once in 10 000 observations stays healthy — no DTC matures and
+  // no escalation fires, because 1 violating observation is far inside the
+  // tolerated = ⌊0.001 * 10000⌋ = 10 budget.
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C",
+                   .subject = "s",
+                   .period = sim::milliseconds(5),
+                   .confidence = 0.999});
+  reg.report_to(dem, /*debounce_threshold=*/1);
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/1);
+
+  // 10 001 writes -> 10 000 judged intervals; one (after write 6000) is
+  // 10 ms instead of 5 ms.
+  for (int i = 0; i <= 10000; ++i) {
+    const sim::Duration shift = i > 6000 ? sim::milliseconds(5) : 0;
+    trace.emit(sim::milliseconds(5) * i + shift, "rte.write", "s");
+  }
+  reg.flush();
+
+  EXPECT_EQ(reg.health().total(), 1u);  // recorded for diagnosis...
+  EXPECT_FALSE(dem.dtc("rv.C").has_value());  // ...but no DTC,
+  EXPECT_FALSE(reg.escalated());              // no escalation,
+  EXPECT_TRUE(modes.in("RUN"));               // no mode change.
+  const rv::HealthReport::ContractStats* stats = reg.health().stats("C");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->observations, 10000u);
+}
+
+TEST(MonitorRegistry, SameTraceAtFullConfidenceEscalates) {
+  // The counterpart: the identical trace under confidence = 1.0 tolerates
+  // nothing — the single late interval matures a DTC and degrades the mode.
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C",
+                   .subject = "s",
+                   .period = sim::milliseconds(5),
+                   .confidence = 1.0});
+  reg.report_to(dem, /*debounce_threshold=*/1);
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/1);
+
+  for (int i = 0; i <= 10000; ++i) {
+    const sim::Duration shift = i > 6000 ? sim::milliseconds(5) : 0;
+    trace.emit(sim::milliseconds(5) * i + shift, "rte.write", "s");
+  }
+
+  EXPECT_EQ(reg.health().total(), 1u);
+  EXPECT_TRUE(dem.dtc("rv.C").has_value());
+  EXPECT_TRUE(reg.escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+}
+
+TEST(MonitorRegistry, ExactBudgetBoundaryStaysHealthy) {
+  // violations == tolerated is still within budget; only the strictly
+  // greater case escalates. Confidence 0.5 over 4 judged intervals
+  // tolerates ⌊0.5 * 4⌋ = 2.
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C",
+                   .subject = "s",
+                   .period = sim::milliseconds(5),
+                   .confidence = 0.5});
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/1);
+
+  for (const int ms : {0, 5, 13, 18, 26}) {  // intervals 5, 8, 5, 8
+    trace.emit(sim::milliseconds(ms), "rte.write", "s");
+  }
+  EXPECT_EQ(reg.health().total(), 2u);
+  EXPECT_EQ(reg.health().stats("C")->tolerated(), 2u);
+  EXPECT_FALSE(reg.escalated());  // 2 violating == 2 tolerated: on budget
+
+  trace.emit(sim::milliseconds(34), "rte.write", "s");  // 3rd late interval
+  EXPECT_TRUE(reg.escalated());  // 3 > ⌊0.5 * 5⌋ = 2: over budget
+  EXPECT_TRUE(modes.in("DEGRADED"));
+}
+
+TEST(MonitorRegistry, EscalationThresholdZeroCoercesToOne) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C", .subject = "s",
+                   .period = sim::milliseconds(5)});
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/0);
+  trace.emit(0, "rte.write", "s");
+  EXPECT_FALSE(reg.escalated());
+  trace.emit(sim::milliseconds(9), "rte.write", "s");
+  EXPECT_TRUE(reg.escalated());  // 0 behaves as 1, not "never"
+}
+
+TEST(MonitorRegistry, WarmupDefersJudgementUntilEnoughObservations) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C", .subject = "s",
+                   .period = sim::milliseconds(5)});
+  reg.report_to(dem, /*debounce_threshold=*/1);
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/1);
+  reg.set_warmup(10);
+
+  // 3 violating intervals — over budget on paper, but the window holds
+  // fewer than 10 observations, so no verdict is passed yet.
+  trace.emit(0, "rte.write", "s");
+  for (int i = 1; i <= 3; ++i) {
+    trace.emit(sim::milliseconds(8) * i, "rte.write", "s");
+  }
+  EXPECT_EQ(reg.health().total(), 3u);
+  EXPECT_FALSE(dem.dtc("rv.C").has_value());
+  EXPECT_FALSE(reg.escalated());
+
+  // 7 conforming intervals complete the warm-up; the next flush judges the
+  // window (3 violating in 10 > 0 tolerated) and escalates.
+  for (int i = 1; i <= 7; ++i) {
+    trace.emit(sim::milliseconds(24) + sim::milliseconds(5) * i, "rte.write",
+               "s");
+  }
+  reg.flush();
+  EXPECT_TRUE(dem.dtc("rv.C").has_value());
+  EXPECT_TRUE(reg.escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+}
+
+// --- Closed-loop recovery -----------------------------------------------------
+
+TEST(ArrivalMonitor, QuarantineDropsStayUnderObservation) {
+  // A quarantined component's suppressed writes surface as
+  // "rte.quarantine_drop" with the same subject; the arrival monitor keeps
+  // judging them so healing can be certified while the sanction holds.
+  sim::Trace trace;
+  rv::MonitorRegistry reg(trace);
+  auto& m = reg.add_arrival({.contract = "C",
+                             .subject = "s",
+                             .period = sim::milliseconds(5)});
+  trace.emit(0, "rte.write", "s");
+  trace.emit(sim::milliseconds(5), "rte.write", "s");
+  // Quarantine starts: drops continue the interval chain seamlessly.
+  trace.emit(sim::milliseconds(13), "rte.quarantine_drop", "s");  // 8 ms: late
+  trace.emit(sim::milliseconds(18), "rte.quarantine_drop", "s");  // 5 ms: ok
+  EXPECT_EQ(m.arrivals(), 4u);
+  EXPECT_EQ(reg.health().total(), 1u);
+  EXPECT_EQ(reg.health().violations()[0].when, sim::milliseconds(13));
+
+  // Opting out restores the old single-category behavior.
+  rv::MonitorRegistry blind(trace);
+  auto& b = blind.add_arrival({.contract = "C",
+                               .subject = "s2",
+                               .period = sim::milliseconds(5),
+                               .observe_quarantined = false});
+  trace.emit(0, "rte.write", "s2");
+  trace.emit(sim::milliseconds(13), "rte.quarantine_drop", "s2");
+  EXPECT_EQ(b.arrivals(), 1u);
+  EXPECT_TRUE(blind.health().healthy());
+}
+
+TEST(MonitorRegistry, AgedOutDtcReleasesQuarantineAndRecoversMode) {
+  // The full §2 loop at registry granularity: violate -> DTC + DEGRADED +
+  // quarantine -> conforming windows heal the event -> aging erases the
+  // DTC -> release hook fires, monitors resync, mode returns, escalation
+  // re-arms — and a fresh fault degrades again, with no manual release().
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  modes.add_transition("DEGRADED", "RUN");
+  rv::MonitorRegistry reg(trace);
+  auto& monitor = reg.add_arrival({.contract = "C",
+                                   .subject = "pedal.pedal.stamp",
+                                   .period = sim::milliseconds(5)});
+  reg.report_to(dem, /*debounce_threshold=*/2, /*aging_cycles=*/2);
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/2);
+  std::vector<std::string> quarantined;
+  std::vector<std::string> released;
+  reg.quarantine_with([&](const std::string& instance, const rv::Violation&) {
+    quarantined.push_back(instance);
+  });
+  reg.release_with(
+      [&](const std::string& instance) { released.push_back(instance); });
+
+  // Fault: two late intervals latch the DTC (debounce 2) and escalate
+  // (threshold 2).
+  trace.emit(0, "rte.write", "pedal.pedal.stamp");
+  trace.emit(sim::milliseconds(8), "rte.write", "pedal.pedal.stamp");
+  trace.emit(sim::milliseconds(16), "rte.write", "pedal.pedal.stamp");
+  ASSERT_TRUE(dem.dtc("rv.C").has_value());
+  ASSERT_TRUE(reg.escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+  ASSERT_EQ(quarantined, (std::vector<std::string>{"pedal"}));
+
+  // Heartbeats over conforming traffic: the first flush still sees the
+  // dirty window (failed), the next two report passed and heal the event,
+  // then two fault-free operation cycles age the DTC out.
+  sim::Time t = sim::milliseconds(16);
+  for (int beat = 0; beat < 6 && reg.escalated(); ++beat) {
+    for (int i = 0; i < 4; ++i) {
+      t += sim::milliseconds(5);
+      trace.emit(t, "rte.quarantine_drop", "pedal.pedal.stamp");
+    }
+    reg.flush();
+    dem.operation_cycle_end();
+  }
+  EXPECT_FALSE(dem.dtc("rv.C").has_value());  // aged out
+  ASSERT_EQ(released, (std::vector<std::string>{"pedal"}));
+  EXPECT_FALSE(reg.escalated());  // re-armed
+  EXPECT_TRUE(modes.in("RUN"));   // back to the pre-escalation mode
+  EXPECT_EQ(reg.recoveries(), 1u);
+
+  // Resync: the 5 s gap to the next write is not judged as an interval.
+  const std::size_t before = reg.health().total();
+  trace.emit(sim::seconds(5), "rte.write", "pedal.pedal.stamp");
+  EXPECT_EQ(reg.health().total(), before);
+  (void)monitor;
+
+  // Re-injected fault: the re-armed loop degrades again.
+  trace.emit(sim::seconds(5) + sim::milliseconds(8), "rte.write",
+             "pedal.pedal.stamp");
+  trace.emit(sim::seconds(5) + sim::milliseconds(16), "rte.write",
+             "pedal.pedal.stamp");
+  EXPECT_TRUE(reg.escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+  ASSERT_EQ(quarantined, (std::vector<std::string>{"pedal", "pedal"}));
+  EXPECT_TRUE(dem.dtc("rv.C").has_value());
+}
+
+TEST(MonitorRegistry, ExplicitRecoveryModeWins) {
+  sim::Kernel kernel;
+  sim::Trace trace;
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_mode("LIMP_HOME");
+  modes.add_transition("RUN", "DEGRADED");
+  modes.add_transition("DEGRADED", "LIMP_HOME");
+  rv::MonitorRegistry reg(trace);
+  reg.add_arrival({.contract = "C", .subject = "s",
+                   .period = sim::milliseconds(5)});
+  reg.report_to(dem, /*debounce_threshold=*/1, /*aging_cycles=*/1);
+  reg.escalate_to(modes, "DEGRADED", /*threshold=*/1);
+  reg.recover_to("LIMP_HOME");
+
+  trace.emit(0, "rte.write", "s");
+  trace.emit(sim::milliseconds(9), "rte.write", "s");
+  ASSERT_TRUE(modes.in("DEGRADED"));
+  // Heal and age out over conforming windows.
+  sim::Time t = sim::milliseconds(9);
+  for (int beat = 0; beat < 4 && reg.escalated(); ++beat) {
+    for (int i = 0; i < 3; ++i) {
+      t += sim::milliseconds(5);
+      trace.emit(t, "rte.write", "s");
+    }
+    reg.flush();
+    dem.operation_cycle_end();
+  }
+  EXPECT_FALSE(reg.escalated());
+  EXPECT_TRUE(modes.in("LIMP_HOME"));  // declared target, not the snapshot
 }
 
 // --- Dispatch index ((category_id, subject_id) routing) ----------------------
@@ -406,8 +750,12 @@ namespace bbw {
 
 /// Brake-by-wire-like single-ECU model: pedal sensor (timing runnable) ->
 /// brake controller (data-received). `sensor_period` is the *implemented*
-/// sampling period; the bound contract always promises 5 ms.
-vfb::Composition make_model(sim::Duration sensor_period) {
+/// sampling period; the bound contract always promises 5 ms. A non-null
+/// `sample_behavior` replaces the sensor runnable's default body (used to
+/// inject runtime faults the static validator cannot see).
+vfb::Composition make_model(
+    sim::Duration sensor_period,
+    std::function<void(vfb::RunnableContext&)> sample_behavior = nullptr) {
   vfb::Composition model;
 
   vfb::PortInterface ipedal;
@@ -421,9 +769,12 @@ vfb::Composition make_model(sim::Duration sensor_period) {
   sample.execution_time = [] { return sim::microseconds(100); };
   sample.accesses.push_back(
       {"pedal", "stamp", vfb::DataAccessKind::kExplicitWrite});
-  sample.behavior = [](vfb::RunnableContext& ctx) {
-    ctx.write("pedal", "stamp", static_cast<std::uint64_t>(ctx.now()));
-  };
+  sample.behavior = sample_behavior != nullptr
+                        ? std::move(sample_behavior)
+                        : [](vfb::RunnableContext& ctx) {
+                            ctx.write("pedal", "stamp",
+                                      static_cast<std::uint64_t>(ctx.now()));
+                          };
   model.add_type({"PedalSensor",
                   {vfb::Port{"pedal", "IPedal", vfb::PortDirection::kProvided}},
                   {sample}});
@@ -473,6 +824,19 @@ vfb::DeploymentPlan make_plan() {
   plan.instances["pedal"] = {.ecu = "ecu"};
   plan.instances["brake"] = {.ecu = "ecu"};
   return plan;
+}
+
+/// Like make_model(5 ms), but the sensor runnable skips every other write
+/// while *fault is set — the implemented rate halves to one update per
+/// 10 ms, violating the 5 ms guarantee, and returns to nominal the moment
+/// the flag clears. Drives the closed-loop recovery scenarios.
+vfb::Composition make_faultable_model(std::shared_ptr<bool> fault) {
+  return make_model(
+      sim::milliseconds(5),
+      [fault, n = std::make_shared<int>(0)](vfb::RunnableContext& ctx) {
+        if (*fault && (++*n % 2 == 0)) return;
+        ctx.write("pedal", "stamp", static_cast<std::uint64_t>(ctx.now()));
+      });
 }
 
 }  // namespace bbw
@@ -539,6 +903,75 @@ TEST(SystemRv, PlanFlagDisablesTheLayer) {
   plan.runtime_verification = false;
   vfb::System sys(kernel, trace, model, plan);
   EXPECT_EQ(sys.monitors(), nullptr);
+}
+
+TEST(SystemRv, ClosedLoopRecoveryEndToEnd) {
+  // The full §2 error-handling loop on a generated system, with nothing but
+  // periodic heartbeats (flush + operation cycle) from the integrator:
+  // injected late-pedal fault -> rate budget exceeded -> DTC matures ->
+  // DEGRADED + quarantine -> fault removed -> conforming windows heal the
+  // event -> DTC ages out -> quarantine released + mode back to RUN ->
+  // re-injected fault degrades again. No manual release() anywhere.
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  auto fault = std::make_shared<bool>(false);
+  const vfb::Composition model = bbw::make_faultable_model(fault);
+  vfb::DeploymentPlan plan = bbw::make_plan();
+  plan.recovery_mode = "RUN";
+  vfb::System sys(kernel, trace, model, plan);
+
+  bsw::Dem dem(kernel, trace);
+  bsw::ModeMachine modes(kernel, trace, "vehicle", "RUN");
+  modes.add_mode("DEGRADED");
+  modes.add_transition("RUN", "DEGRADED");
+  modes.add_transition("DEGRADED", "RUN");
+  sys.monitors()->report_to(dem, /*debounce_threshold=*/3,
+                            /*aging_cycles=*/3);
+  sys.monitors()->escalate_to(modes, "DEGRADED", /*threshold=*/3);
+
+  const auto heartbeat = [&] {
+    sys.run_for(sim::milliseconds(100));
+    sys.monitors()->flush();
+    dem.operation_cycle_end();
+  };
+
+  // Phase 1: nominal operation.
+  for (int i = 0; i < 5; ++i) heartbeat();
+  EXPECT_TRUE(sys.monitors()->health().healthy());
+  EXPECT_TRUE(modes.in("RUN"));
+
+  // Phase 2: fault injected — the sensor halves its update rate.
+  *fault = true;
+  for (int i = 0; i < 3; ++i) heartbeat();
+  EXPECT_TRUE(sys.monitors()->escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+  EXPECT_TRUE(sys.rte("ecu").is_quarantined("pedal"));
+  ASSERT_TRUE(dem.dtc("rv.C_Pedal").has_value());
+
+  // Phase 3: fault removed — the quarantined sensor's suppressed writes
+  // prove conformance, the DTC heals and ages out, and the registry
+  // releases the quarantine and recovers the mode on its own.
+  *fault = false;
+  for (int i = 0; i < 12 && sys.monitors()->escalated(); ++i) heartbeat();
+  EXPECT_FALSE(sys.monitors()->escalated());
+  EXPECT_FALSE(sys.rte("ecu").is_quarantined("pedal"));
+  EXPECT_TRUE(modes.in("RUN"));
+  EXPECT_FALSE(dem.dtc("rv.C_Pedal").has_value());
+  EXPECT_EQ(sys.monitors()->recoveries(), 1u);
+
+  // Phase 4: a re-injected fault degrades again — the loop re-armed.
+  *fault = true;
+  for (int i = 0; i < 3; ++i) heartbeat();
+  EXPECT_TRUE(sys.monitors()->escalated());
+  EXPECT_TRUE(modes.in("DEGRADED"));
+  EXPECT_TRUE(sys.rte("ecu").is_quarantined("pedal"));
+
+  // ...and heals again once it clears.
+  *fault = false;
+  for (int i = 0; i < 12 && sys.monitors()->escalated(); ++i) heartbeat();
+  EXPECT_EQ(sys.monitors()->recoveries(), 2u);
+  EXPECT_TRUE(modes.in("RUN"));
 }
 
 // --- Rte quarantine -----------------------------------------------------------
