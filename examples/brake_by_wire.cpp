@@ -230,8 +230,26 @@ int main() {
   std::printf("  analytic bound    : %.3f ms  (%s)\n", sim::to_ms(bound.worst),
               e2e_ms.max() <= sim::to_ms(bound.worst) ? "holds" : "VIOLATED");
 
-  // Runtime-verification verdict for the same run.
+  // Static/dynamic cross-check: the generator ran the holistic fixpoint over
+  // the same chains the LatencyMonitors watch and stamped the static bound
+  // into each spec — every observed worst case must stay below it.
   const rv::MonitorRegistry& rvr = *sys.monitors();
+  bool static_bound_holds = true;
+  std::size_t cross_checked = 0;
+  for (const rv::LatencyMonitor* lm : rvr.latency_monitors()) {
+    if (lm->spec().static_bound <= 0 || lm->samples() == 0) continue;
+    ++cross_checked;
+    if (lm->worst() > lm->spec().static_bound) static_bound_holds = false;
+  }
+  const auto& chain_bounds = sys.analyze().chain_bounds;
+  std::printf("  holistic bound    : %.3f ms over %zu chains (%s)\n",
+              chain_bounds.empty() || !chain_bounds.front().computable
+                  ? 0.0
+                  : sim::to_ms(chain_bounds.front().bound),
+              cross_checked,
+              static_bound_holds && cross_checked > 0 ? "holds" : "VIOLATED");
+
+  // Runtime-verification verdict for the same run.
   std::printf("  rv monitors       : %zu (%llu records routed)\n",
               rvr.monitor_count(),
               static_cast<unsigned long long>(rvr.records_routed()));
@@ -266,6 +284,7 @@ int main() {
       json.size(), csv.size());
 
   const bool ok = e2e_ms.max() <= sim::to_ms(bound.worst) && clean_start &&
-                  quarantined_once && fully_recovered && quarantine_lifted;
+                  quarantined_once && fully_recovered && quarantine_lifted &&
+                  static_bound_holds && cross_checked > 0;
   return ok ? 0 : 1;
 }

@@ -12,10 +12,19 @@
 // (live RTE slot, different-priority preemptive tasks) and provably clean
 // when declared implicit (task-boundary buffered), which is precisely what
 // rule V4 separates.
+//
+// Part 3 exercises the whole-program rules (V8..V12) on a two-ECU chain
+// model — transitive range conflicts no pairwise check can see, an
+// end-to-end deadline the holistic analysis refutes, uncovered contract
+// obligations, oversubscribed resource budgets and a dead relay chain —
+// and exports the combined report as SARIF 2.1.0 (model_lint.sarif, or the
+// path given as argv[1]) for CI code-scanning upload.
 #include <cstdio>
 
 #include "contracts/contract.hpp"
+#include "rv/trace_export.hpp"
 #include "sim/time.hpp"
+#include "validation/sarif.hpp"
 #include "validation/validator.hpp"
 #include "vfb/deployment.hpp"
 #include "vfb/model.hpp"
@@ -79,9 +88,82 @@ void print_report(const char* title,
   std::printf("\n%s\n", report.render().c_str());
 }
 
+/// Part 3 model: two-ECU cause-effect chains engineered so every
+/// whole-program rule (V8..V12) has at least one firing.
+Composition chain_model() {
+  Composition c;
+  c.add_interface(sr_interface("IValue"));
+
+  // Speedometer: autonomous 5 ms producer, guaranteed range [0, 100].
+  Runnable sample{.name = "sample",
+                  .trigger = RunnableTrigger::timing(milliseconds(5))};
+  sample.wcet_bound = sim::milliseconds(1);
+  sample.accesses.push_back(
+      {"speed", "val", DataAccessKind::kImplicitWrite});
+  c.add_type({"Speedometer",
+              {Port{"speed", "IValue", PortDirection::kProvided}},
+              {sample}});
+
+  // Mixer: autonomous producer WITHOUT any range guarantee — the
+  // unconstrained transitive source V8 warns about.
+  Runnable mix{.name = "mix",
+               .trigger = RunnableTrigger::timing(milliseconds(10))};
+  mix.wcet_bound = sim::microseconds(200);
+  mix.accesses.push_back({"noise", "val", DataAccessKind::kImplicitWrite});
+  c.add_type({"Mixer",
+              {Port{"noise", "IValue", PortDirection::kProvided}},
+              {mix}});
+
+  // Scaler: contract-free relay — V7 cannot bridge across it, V8 can.
+  Runnable scale{.name = "scale",
+                 .trigger = RunnableTrigger::data_received("in", "val")};
+  scale.wcet_bound = sim::microseconds(500);
+  scale.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  scale.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  c.add_type({"Scaler",
+              {Port{"in", "IValue", PortDirection::kRequired},
+               Port{"out", "IValue", PortDirection::kProvided}},
+              {scale}});
+
+  // Hmi: end consumer with range + latency assumptions (V8 / V9 targets).
+  Runnable show{.name = "show",
+                .trigger = RunnableTrigger::data_received("disp", "val")};
+  show.wcet_bound = sim::microseconds(300);
+  show.accesses.push_back({"disp", "val", DataAccessKind::kImplicitRead});
+  c.add_type({"Hmi",
+              {Port{"disp", "IValue", PortDirection::kRequired}},
+              {show}});
+
+  // Echo: relay whose input is never connected — everything downstream of
+  // it can only ever see initial values (the V12 dead-flow chain).
+  Runnable echo{.name = "echo",
+                .trigger = RunnableTrigger::timing(milliseconds(20))};
+  echo.wcet_bound = sim::microseconds(100);
+  echo.accesses.push_back({"ein", "val", DataAccessKind::kImplicitRead});
+  echo.accesses.push_back({"eout", "val", DataAccessKind::kImplicitWrite});
+  c.add_type({"Echo",
+              {Port{"ein", "IValue", PortDirection::kRequired},
+               Port{"eout", "IValue", PortDirection::kProvided}},
+              {echo}});
+
+  c.add_instance({"source", "Speedometer"});
+  c.add_instance({"mixer", "Mixer"});
+  c.add_instance({"scaler", "Scaler"});
+  c.add_instance({"hmi", "Hmi"});
+  c.add_instance({"gauge", "Hmi"});
+  c.add_instance({"tap", "Hmi"});
+  c.add_instance({"relay", "Echo"});
+
+  c.add_connector({"source", "speed", "scaler", "in"});  // cross-ECU
+  c.add_connector({"scaler", "out", "hmi", "disp"});     // same-ECU pipeline
+  c.add_connector({"mixer", "noise", "gauge", "disp"});  // cross-ECU
+  c.add_connector({"relay", "eout", "tap", "disp"});     // dead relay chain
+  return c;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // --- Part 1: one messy model, seven rules in one report --------------------
   Composition c;
   c.add_interface(sr_interface("ISpeed"));
@@ -188,5 +270,81 @@ int main() {
               racy.by_rule("V4").empty() ? "no" : "yes");
   std::printf("race detected with implicit accesses: %s\n",
               buffered.by_rule("V4").empty() ? "no" : "yes");
-  return 0;
+
+  // --- Part 3: whole-program rules V8..V12 on a two-ECU chain model ----------
+  const Composition chains = chain_model();
+
+  DeploymentPlan chain_plan;
+  chain_plan.instances["source"] = {.ecu = "front"};
+  chain_plan.instances["mixer"] = {.ecu = "front"};
+  chain_plan.instances["scaler"] = {.ecu = "rear"};
+  chain_plan.instances["hmi"] = {.ecu = "rear"};
+  chain_plan.instances["gauge"] = {.ecu = "rear"};
+  chain_plan.instances["tap"] = {.ecu = "rear"};
+  chain_plan.instances["relay"] = {.ecu = "rear"};
+
+  // Source: range guarantee [0,100] on the chain head, a guarantee on a flow
+  // that resolves to nothing (V10), and a vertical CPU assumption far below
+  // the generated 1ms/5ms load (V11 warning).
+  contracts::Contract c_source{.name = "CSource"};
+  c_source.guarantees.push_back(
+      contracts::FlowSpec{.flow = "speed.val",
+                          .range = {0, 100},
+                          .timing = {.period = milliseconds(5)}});
+  c_source.guarantees.push_back(
+      contracts::FlowSpec{.flow = "ghost",
+                          .timing = {.period = milliseconds(1)}});
+  c_source.vertical.cpu_utilization = 0.001;
+
+  // Mixer: no flow guarantees at all, but a vertical assumption that
+  // oversubscribes the front ECU together with the source (V11 error).
+  contracts::Contract c_mixer{.name = "CMixer"};
+  c_mixer.vertical.cpu_utilization = 1.1;
+
+  // Hmi: assumes [200,300] from a chain whose transitive source guarantees
+  // [0,100] — empty intersection through the contract-free scaler (V8
+  // error) — plus a 50 us end-to-end deadline the holistic analysis refutes
+  // (V9 error) and a relaxed 500 ms obligation it confirms (V9 info).
+  contracts::Contract c_hmi{.name = "CHmi"};
+  c_hmi.assumptions.push_back(
+      contracts::FlowSpec{.flow = "disp.val", .range = {200, 300}});
+  c_hmi.assumptions.push_back(
+      contracts::FlowSpec{.flow = "disp.val",
+                          .timing = {.latency = sim::microseconds(50)}});
+  c_hmi.assumptions.push_back(
+      contracts::FlowSpec{.flow = "disp",
+                          .timing = {.latency = milliseconds(500)}});
+
+  // Gauge: a range assumption fed by the guarantee-free mixer — the
+  // unconstrained transitive source (V8 warning).
+  contracts::Contract c_gauge{.name = "CGauge"};
+  c_gauge.assumptions.push_back(
+      contracts::FlowSpec{.flow = "disp.val", .range = {0, 50}});
+
+  const auto chain_report = validation::Validator(chains)
+                                .with_deployment(chain_plan)
+                                .with_contract("source", c_source)
+                                .with_contract("mixer", c_mixer)
+                                .with_contract("hmi", c_hmi)
+                                .with_contract("gauge", c_gauge)
+                                .run();
+  print_report("whole-program chain analysis (V8..V12)", chain_report);
+  for (const char* rule : {"V8", "V9", "V10", "V11", "V12"}) {
+    std::printf("%s findings: %zu\n", rule,
+                chain_report.by_rule(rule).size());
+  }
+
+  // SARIF export of the whole-program report for CI code scanning.
+  const std::string sarif_path =
+      argc > 1 ? argv[1] : std::string("model_lint.sarif");
+  rv::write_file(sarif_path, validation::to_sarif(chain_report));
+  std::printf("SARIF report      : %s\n", sarif_path.c_str());
+
+  const bool all_fired = !chain_report.by_rule("V8").empty() &&
+                         !chain_report.by_rule("V9").empty() &&
+                         !chain_report.by_rule("V10").empty() &&
+                         !chain_report.by_rule("V11").empty() &&
+                         !chain_report.by_rule("V12").empty();
+  std::printf("all whole-program rules fired: %s\n", all_fired ? "yes" : "no");
+  return all_fired ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "analysis/flexray_analysis.hpp"
+
 namespace orte::analysis {
 
 void HolisticModel::add_task(DistTask task) {
@@ -17,8 +19,20 @@ void HolisticModel::add_task(DistTask task) {
 
 void HolisticModel::add_message(DistMessage message) {
   (void)task(message.from_task);  // validation: throws on unknown
-  (void)task(message.to_task);
+  // Empty to_task = pure bus load (a frame whose receiver is not a modelled
+  // task — e.g. a polled signal); it contends for the medium but triggers
+  // nothing.
+  if (!message.to_task.empty()) (void)task(message.to_task);
   messages_.push_back(std::move(message));
+}
+
+void HolisticModel::add_dependency(std::string from_task, std::string to_task) {
+  (void)task(from_task);
+  (void)task(to_task);
+  if (from_task == to_task) {
+    throw std::invalid_argument("dependency self-loop on " + from_task);
+  }
+  dependencies_.push_back({std::move(from_task), std::move(to_task)});
 }
 
 const DistTask& HolisticModel::task(const std::string& name) const {
@@ -30,26 +44,39 @@ const DistTask& HolisticModel::task(const std::string& name) const {
 
 HolisticResult HolisticModel::analyze(std::int64_t can_bitrate_bps,
                                       int max_iterations) const {
+  BusSpec bus;
+  bus.can_bitrate_bps = can_bitrate_bps;
+  return analyze(bus, max_iterations);
+}
+
+HolisticResult HolisticModel::analyze(const BusSpec& bus,
+                                      int max_iterations) const {
   HolisticResult result;
 
   // Derive each task's effective period: chain heads carry their own; a
-  // triggered task inherits the period of the chain head feeding it.
+  // triggered task inherits the period of the chain head feeding it
+  // (through messages and local dependency edges alike).
   std::map<std::string, Duration> period;
-  std::map<std::string, std::string> triggered_by;  // task -> message
-  std::map<std::string, std::string> msg_source;    // message -> task
+  std::set<std::string> triggered;  // has an incoming message or dependency
   for (const auto& t : tasks_) period[t.name] = t.period;
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const auto& m : messages_) {
-      msg_source[m.name] = m.from_task;
-      triggered_by[m.to_task] = m.name;
-      const Duration src = period.at(m.from_task);
-      if (src > 0 && period.at(m.to_task) != src) {
-        period[m.to_task] = src;
+    const auto inherit = [&](const std::string& from, const std::string& to) {
+      triggered.insert(to);
+      const Duration src = period.at(from);
+      // Min over all sources: with several triggering edges the smallest
+      // inter-arrival dominates, and the monotone-decreasing update
+      // terminates where a last-writer-wins rule could oscillate.
+      if (src > 0 && (period.at(to) <= 0 || src < period.at(to))) {
+        period[to] = src;
         changed = true;
       }
+    };
+    for (const auto& m : messages_) {
+      if (!m.to_task.empty()) inherit(m.from_task, m.to_task);
     }
+    for (const auto& d : dependencies_) inherit(d.from_task, d.to_task);
   }
   for (const auto& t : tasks_) {
     if (period.at(t.name) <= 0) {
@@ -57,11 +84,25 @@ HolisticResult HolisticModel::analyze(std::int64_t can_bitrate_bps,
     }
   }
 
+  // FlexRay static-segment delay per message: slot assignment by insertion
+  // order unless pinned; a write that just misses its slot waits one full
+  // communication cycle, so the bound is cycle + slot (delivery instants
+  // themselves are strictly periodic — zero jitter on the bus side).
+  std::map<std::string, Duration> flexray_delay;
+  if (bus.use_flexray) {
+    flexray::FlexRayConfig cfg = bus.flexray;
+    cfg.static_slots = std::max<std::uint32_t>(
+        cfg.static_slots, static_cast<std::uint32_t>(messages_.size()));
+    std::uint32_t next_slot = 1;
+    for (const auto& m : messages_) {
+      const std::uint32_t slot = m.slot != 0 ? m.slot : next_slot++;
+      flexray_delay[m.name] = flexray_static_latency(cfg, slot).worst;
+    }
+  }
+
   // Fixpoint: jitters start at 0 and grow monotonically.
   std::map<std::string, Duration> task_jitter;
-  std::map<std::string, Duration> msg_jitter;
   for (const auto& t : tasks_) task_jitter[t.name] = 0;
-  for (const auto& m : messages_) msg_jitter[m.name] = 0;
 
   for (int iter = 1; iter <= max_iterations; ++iter) {
     result.iterations = iter;
@@ -96,33 +137,47 @@ HolisticResult HolisticModel::analyze(std::int64_t can_bitrate_bps,
     }
     if (!all_ok) return result;  // schedulable stays false
 
-    // 2. Bus analysis with message jitter = sender response.
-    std::vector<CanMessage> bus;
-    for (const auto& m : messages_) {
-      CanMessage c;
-      c.name = m.name;
-      c.id = m.id;
-      c.bytes = m.bytes;
-      c.period = period.at(m.from_task);
-      c.jitter = task_resp.at(m.from_task);
-      bus.push_back(c);
-    }
+    // 2. Bus analysis with message jitter = sender response, so the message
+    // response R = J + w + C carries the whole upstream chain.
     std::map<std::string, Duration> msg_resp;
-    for (const auto& c : bus) {
-      const auto r = can_response_time(c, bus, can_bitrate_bps);
-      if (!r.has_value()) return result;
-      msg_resp[c.name] = *r;
-    }
-
-    // 3. Propagate: receiving tasks inherit message response as jitter.
-    bool stable = true;
-    for (const auto& m : messages_) {
-      const Duration j = msg_resp.at(m.name);
-      if (task_jitter.at(m.to_task) != j) {
-        task_jitter[m.to_task] = j;
-        stable = false;
+    if (bus.use_flexray) {
+      for (const auto& m : messages_) {
+        msg_resp[m.name] = task_resp.at(m.from_task) + flexray_delay.at(m.name);
+      }
+    } else {
+      std::vector<CanMessage> canbus;
+      for (const auto& m : messages_) {
+        CanMessage c;
+        c.name = m.name;
+        c.id = m.id;
+        c.bytes = m.bytes;
+        c.period = period.at(m.from_task);
+        c.jitter = task_resp.at(m.from_task);
+        canbus.push_back(c);
+      }
+      for (const auto& c : canbus) {
+        const auto r = can_response_time(c, canbus, bus.can_bitrate_bps);
+        if (!r.has_value()) return result;
+        msg_resp[c.name] = *r;
       }
     }
+
+    // 3. Propagate: a triggered task inherits the worst incoming response
+    // (message delivery or local producer completion) as release jitter.
+    std::map<std::string, Duration> next_jitter;
+    for (const auto& t : tasks_) next_jitter[t.name] = 0;
+    for (const auto& m : messages_) {
+      if (m.to_task.empty()) continue;
+      next_jitter[m.to_task] =
+          std::max(next_jitter.at(m.to_task), msg_resp.at(m.name));
+    }
+    for (const auto& d : dependencies_) {
+      next_jitter[d.to_task] =
+          std::max(next_jitter.at(d.to_task), task_resp.at(d.from_task));
+    }
+    const bool stable = next_jitter == task_jitter;
+    task_jitter = next_jitter;
+
     // Divergence guard: any response beyond 4 periods = hopeless.
     for (const auto& [name, r] : task_resp) {
       if (r > 4 * period.at(name)) return result;
@@ -145,20 +200,29 @@ HolisticResult HolisticModel::analyze(std::int64_t can_bitrate_bps,
       // Chain latency from the head's release: a stage's response time
       // already includes its inherited jitter (R = J + w), and the jitter
       // carries the whole upstream chain — so end-to-end is simply the last
-      // stage's response.
+      // stage's response. The walk follows the first outgoing edge at each
+      // stage; fan-out consumers are bounded individually by task_response.
       for (const auto& t : tasks_) {
-        if (triggered_by.count(t.name)) continue;  // not a head
+        if (triggered.count(t.name)) continue;  // not a head
         std::string cursor = t.name;
         while (true) {
-          const DistMessage* next = nullptr;
+          const std::string* next = nullptr;
           for (const auto& m : messages_) {
-            if (m.from_task == cursor) {
-              next = &m;
+            if (m.from_task == cursor && !m.to_task.empty()) {
+              next = &m.to_task;
               break;
             }
           }
+          if (next == nullptr) {
+            for (const auto& d : dependencies_) {
+              if (d.from_task == cursor) {
+                next = &d.to_task;
+                break;
+              }
+            }
+          }
           if (next == nullptr) break;
-          cursor = next->to_task;
+          cursor = *next;
         }
         result.chain_latency[t.name] = task_resp.at(cursor);
       }

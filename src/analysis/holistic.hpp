@@ -1,11 +1,16 @@
 // Holistic schedulability analysis for distributed transactions
 // (Tindell & Clark): the complete §3 "distributed real-time schedulability
-// analysis for ... CAN bus-based target architectures".
+// analysis for ... CAN bus-based target architectures", extended to FlexRay
+// static-segment paths and local (same-ECU) activation edges so the analyzer
+// bounds exactly the chains the runtime LatencyMonitors watch.
 //
-// Transactions are chains  task -> message -> task -> ...  spanning ECUs.
-// Release jitter is inherited along the chain (a message inherits the
-// sending task's response time as jitter; the receiving task inherits the
-// message's response time), which couples all node-local analyses; the
+// Transactions are chains  task -> message -> task -> ...  spanning ECUs,
+// plus  task -> task  dependency edges for data-received activations that
+// stay on one ECU (no bus hop, the consumer is released by the producer's
+// write). Release jitter is inherited along the chain (a message inherits
+// the sending task's response time as jitter; the receiving task inherits
+// the message's response time; a dependent task inherits the producer's
+// response time directly), which couples all node-local analyses; the
 // coupled system is solved by fixpoint iteration. Responses are monotone in
 // jitter, so the iteration converges or provably diverges past a deadline.
 #pragma once
@@ -17,6 +22,7 @@
 
 #include "analysis/can_analysis.hpp"
 #include "analysis/rta.hpp"
+#include "flexray/flexray_bus.hpp"
 #include "sim/time.hpp"
 
 namespace orte::analysis {
@@ -31,10 +37,23 @@ struct DistTask {
 
 struct DistMessage {
   std::string name;
-  std::uint32_t id = 0;  ///< CAN identifier.
+  std::uint32_t id = 0;  ///< CAN identifier (lower = higher priority).
   std::size_t bytes = 8;
   std::string from_task;
   std::string to_task;
+  /// FlexRay static slot (1-based). 0 = assigned by insertion order when the
+  /// model is analyzed in FlexRay mode; ignored in CAN mode.
+  std::uint32_t slot = 0;
+};
+
+/// Bus model used by the fixpoint. The default is CAN (the paper's primary
+/// target); FlexRay mode bounds every message by its static-slot TDMA
+/// latency (cycle + slot — a write that just misses its slot waits one full
+/// communication cycle).
+struct BusSpec {
+  std::int64_t can_bitrate_bps = 500'000;
+  bool use_flexray = false;
+  flexray::FlexRayConfig flexray;
 };
 
 struct HolisticResult {
@@ -50,17 +69,34 @@ class HolisticModel {
  public:
   void add_task(DistTask task);
   /// Adds a message and marks `to_task` as triggered by it (the receiver
-  /// inherits period and jitter through the chain).
+  /// inherits period and jitter through the chain). An empty `to_task`
+  /// models pure bus load: the frame contends for the medium but triggers
+  /// no task.
   void add_message(DistMessage message);
+  /// Adds a local activation edge: `to_task` is released directly by
+  /// `from_task` (same-ECU data-received pipeline, no bus hop). The
+  /// dependent task inherits the producer's period and its response time as
+  /// release jitter.
+  void add_dependency(std::string from_task, std::string to_task);
 
-  /// Run the fixpoint iteration. `horizon_factor` bounds responses at
-  /// horizon_factor * period before declaring divergence.
+  /// Run the fixpoint iteration on a CAN bus. `max_iterations` bounds the
+  /// fixpoint; responses beyond 4x period are declared divergent.
   [[nodiscard]] HolisticResult analyze(std::int64_t can_bitrate_bps,
+                                       int max_iterations = 100) const;
+  /// Run the fixpoint iteration with an explicit bus model (CAN or FlexRay
+  /// static segment).
+  [[nodiscard]] HolisticResult analyze(const BusSpec& bus,
                                        int max_iterations = 100) const;
 
  private:
+  struct Dependency {
+    std::string from_task;
+    std::string to_task;
+  };
+
   std::vector<DistTask> tasks_;
   std::vector<DistMessage> messages_;
+  std::vector<Dependency> dependencies_;
 
   [[nodiscard]] const DistTask& task(const std::string& name) const;
 };

@@ -13,7 +13,12 @@ std::optional<Duration> response_time(
   while (true) {
     Duration next = task.wcet + task.blocking;
     for (const auto& j : taskset) {
-      if (j.priority <= task.priority || j.name == task.name) continue;
+      // Equal-priority peers count as interference too: the dispatcher
+      // breaks ties by arrival (incumbent wins), so a peer job released
+      // before ours runs first — excluding it would give unsound bounds for
+      // same-priority task groups (e.g. data-received event tasks, which
+      // all share DeploymentPlan::data_task_priority on an ECU).
+      if (j.priority < task.priority || j.name == task.name) continue;
       if (j.period <= 0) continue;
       const Duration interference = (w + j.jitter + j.period - 1) / j.period;
       next += interference * j.wcet;

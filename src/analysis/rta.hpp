@@ -7,6 +7,10 @@
 //   R_i     = w + J_i
 // The recurrence either converges (R_i is the exact worst case under the
 // model) or exceeds the deadline, in which case the task is unschedulable.
+// hp(i) here includes *equal*-priority peers: the dispatcher breaks priority
+// ties by arrival order, so a peer released first delays us — counting its
+// full interference keeps the bound sound (if pessimistic) for groups that
+// share one priority level, such as generated data-received event tasks.
 #pragma once
 
 #include <map>

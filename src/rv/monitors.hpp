@@ -174,6 +174,11 @@ struct LatencySpec {
   std::string sink_detail;  ///< Optional: also match record detail
                             ///< (runnable name); empty = any.
   sim::Duration bound = 0;  ///< Max pedal-to-actuator age (ns).
+  /// Holistic worst-case bound of the watched chain, computed at generation
+  /// time (validation::analyze_chains) and recorded here so the static and
+  /// dynamic layers sit side by side: a sound static analysis implies
+  /// worst() <= static_bound on every run. 0 = not statically bounded.
+  sim::Duration static_bound = 0;
   double confidence = 1.0;
   std::size_t max_in_flight = 64;
 };
@@ -187,6 +192,9 @@ class LatencyMonitor final : public Monitor {
   void resync() override;
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] sim::Duration worst() const { return worst_; }
+  /// The full spec this monitor enforces — exposes the contracted bound and
+  /// the static cross-check bound next to the observed worst().
+  [[nodiscard]] const LatencySpec& spec() const { return spec_; }
 
  private:
   LatencySpec spec_;

@@ -121,6 +121,16 @@ void MonitorRegistry::add(std::unique_ptr<Monitor> monitor) {
   monitors_.push_back(std::move(monitor));
 }
 
+std::vector<const LatencyMonitor*> MonitorRegistry::latency_monitors() const {
+  std::vector<const LatencyMonitor*> out;
+  for (const auto& m : monitors_) {
+    if (const auto* lat = dynamic_cast<const LatencyMonitor*>(m.get())) {
+      out.push_back(lat);
+    }
+  }
+  return out;
+}
+
 void MonitorRegistry::report_to(bsw::Dem& dem,
                                 std::int32_t debounce_threshold,
                                 std::uint32_t aging_cycles) {

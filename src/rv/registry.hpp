@@ -127,6 +127,10 @@ class MonitorRegistry {
   [[nodiscard]] std::uint64_t records_delivered() const {
     return records_delivered_;
   }
+  /// Every attached latency monitor, in attach order — the static/dynamic
+  /// cross-check surface (each spec carries the holistic static_bound next
+  /// to the monitor's observed worst()).
+  [[nodiscard]] std::vector<const LatencyMonitor*> latency_monitors() const;
   [[nodiscard]] bool escalated() const { return escalated_; }
   /// Completed violate→degrade→heal→recover cycles.
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }

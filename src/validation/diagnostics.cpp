@@ -53,10 +53,29 @@ std::vector<std::string> Diagnostics::rules() const {
 }
 
 std::string Diagnostics::render() const {
-  std::string out;
+  if (diags_.empty()) return {};
+  const auto plural = [](std::size_t n, const char* noun) {
+    return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+  };
+  std::string out = plural(count(Severity::kError), "error") + ", " +
+                    plural(count(Severity::kWarning), "warning") + ", " +
+                    plural(count(Severity::kInfo), "info") + "\n";
+  // Stable presentation order: severity first, then rule ID (natural order —
+  // V2 before V10), insertion order within one rule.
+  std::vector<const Diagnostic*> sorted;
+  sorted.reserve(diags_.size());
+  for (const auto& d : diags_) sorted.push_back(&d);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     if (a->rule.size() != b->rule.size()) {
+                       return a->rule.size() < b->rule.size();
+                     }
+                     return a->rule < b->rule;
+                   });
   for (const Severity sev :
        {Severity::kError, Severity::kWarning, Severity::kInfo}) {
-    for (const auto& d : diags_) {
+    for (const auto* dp : sorted) {
+      const auto& d = *dp;
       if (d.severity != sev) continue;
       out.append(to_string(sev));
       out.push_back('[');

@@ -46,16 +46,20 @@ class Diagnostics {
   [[nodiscard]] bool has_errors() const {
     return count(Severity::kError) > 0;
   }
-  /// Diagnostics carrying the given rule ID, in report order.
+  /// Diagnostics carrying the given rule ID, in report order. The returned
+  /// pointers alias this container's storage: any subsequent add()
+  /// invalidates them — re-query instead of caching across mutations.
   [[nodiscard]] std::vector<const Diagnostic*> by_rule(
       std::string_view rule) const;
   /// Distinct rule IDs present, in first-appearance order.
   [[nodiscard]] std::vector<std::string> rules() const;
 
-  /// Multi-line human-readable report:
+  /// Multi-line human-readable report, led by a one-line summary
+  /// ("N errors, M warnings, K infos"):
   ///   error[V1] p.out: message (hint: ...)
-  /// Errors render first, then warnings, then infos; insertion order within
-  /// each severity.
+  /// Errors render first, then warnings, then infos; within each severity
+  /// diagnostics sort by rule ID (natural order, V2 before V10), insertion
+  /// order within one rule. Empty report renders as the empty string.
   [[nodiscard]] std::string render() const;
 
  private:

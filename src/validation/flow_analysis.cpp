@@ -1,0 +1,1002 @@
+#include "validation/flow_analysis.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/holistic.hpp"
+
+namespace orte::validation {
+
+namespace {
+
+using contracts::Contract;
+using contracts::FlowSpec;
+using contracts::Interval;
+using sim::Duration;
+using vfb::ComponentInstance;
+using vfb::ComponentType;
+using vfb::Connector;
+using vfb::DataAccessKind;
+using vfb::DeploymentPlan;
+using vfb::Port;
+using vfb::PortDirection;
+using vfb::PortInterface;
+using vfb::Runnable;
+using vfb::RunnableTrigger;
+
+using ContractMap = std::map<std::string, Contract, std::less<>>;
+
+bool is_write(DataAccessKind k) {
+  return k == DataAccessKind::kImplicitWrite ||
+         k == DataAccessKind::kExplicitWrite;
+}
+
+const Port* find_port(const ComponentType& type, std::string_view name) {
+  for (const auto& p : type.ports) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string dot(std::string_view a, std::string_view b) {
+  return std::string(a) + "." + std::string(b);
+}
+std::string dot(std::string_view a, std::string_view b, std::string_view c) {
+  return dot(a, b) + "." + std::string(c);
+}
+
+/// Slot key "instance.port.element" — same shape as Rte::key, so V8/V12
+/// subjects line up with the runtime trace subjects.
+std::string slot_key(std::string_view instance, std::string_view port,
+                     std::string_view element) {
+  return dot(instance, port, element);
+}
+
+/// "port.element" flow lookup with "port" fallback (the validator/System
+/// convention).
+const FlowSpec* flow_of(const Contract& c, const std::string& port,
+                        const std::string& element, bool assume) {
+  const std::string qualified = port + "." + element;
+  const FlowSpec* f = assume ? c.assumption(qualified) : c.guarantee(qualified);
+  if (f == nullptr) f = assume ? c.assumption(port) : c.guarantee(port);
+  return f;
+}
+
+struct SplitFlow {
+  std::string port;
+  std::string element;  ///< Empty = every element of the port.
+};
+SplitFlow split_flow(const std::string& flow) {
+  const auto d = flow.find('.');
+  if (d == std::string::npos) return {flow, {}};
+  return {flow.substr(0, d), flow.substr(d + 1)};
+}
+
+bool unconstrained(const Interval& r) {
+  return r.lo == std::numeric_limits<std::int64_t>::min() &&
+         r.hi == std::numeric_limits<std::int64_t>::max();
+}
+
+std::string interval_str(const Interval& r) {
+  return "[" + std::to_string(r.lo) + ", " + std::to_string(r.hi) + "]";
+}
+
+const ComponentType* type_of(const vfb::Composition& model,
+                             const std::string& instance) {
+  const ComponentInstance* inst = model.find_instance(instance);
+  return inst == nullptr ? nullptr : model.find_type(inst->type);
+}
+
+/// Sender-receiver interface of (instance, port), or null when anything on
+/// the way does not resolve (rule V1/V2 territory — these passes stay
+/// silent there).
+const PortInterface* sr_interface(const vfb::Composition& model,
+                                  const std::string& instance,
+                                  const std::string& port,
+                                  const Port** port_out = nullptr) {
+  const ComponentType* type = type_of(model, instance);
+  if (type == nullptr) return nullptr;
+  const Port* p = find_port(*type, port);
+  if (p == nullptr) return nullptr;
+  const PortInterface* iface = model.find_interface(p->interface);
+  if (iface == nullptr || iface->kind != PortInterface::Kind::kSenderReceiver) {
+    return nullptr;
+  }
+  if (port_out != nullptr) *port_out = p;
+  return iface;
+}
+
+/// Model-only mirror of System::resolve_flow — which "rte.write" sender keys
+/// a contract flow of `instance` would resolve to (empty = nothing routable,
+/// so no monitor would be compiled from the clause).
+std::vector<std::string> resolve_flow(const vfb::Composition& model,
+                                      const std::string& instance,
+                                      const std::string& flow) {
+  const SplitFlow f = split_flow(flow);
+  const Port* p = nullptr;
+  const PortInterface* iface = sr_interface(model, instance, f.port, &p);
+  if (iface == nullptr) return {};
+
+  std::string src_instance = instance;
+  std::string src_port = f.port;
+  if (p->direction == PortDirection::kRequired) {
+    const Connector* conn = model.connection_to(instance, f.port);
+    if (conn == nullptr) return {};
+    src_instance = conn->from_instance;
+    src_port = conn->from_port;
+  }
+  std::vector<std::string> subjects;
+  for (const auto& elem : iface->elements) {
+    if (!f.element.empty() && elem.name != f.element) continue;
+    subjects.push_back(slot_key(src_instance, src_port, elem.name));
+  }
+  return subjects;
+}
+
+// ---------------------------------------------------------------------------
+// V8 / V12: slot dataflow graph with abstract interval propagation.
+// ---------------------------------------------------------------------------
+
+/// Abstract value of one slot: Bottom (no dynamic data ever reaches it),
+/// an interval hull, or Top (reached by an unconstrained source).
+struct AbsVal {
+  enum class Kind { kBottom, kInterval, kTop };
+  Kind kind = Kind::kBottom;
+  Interval iv{0, 0};
+  std::string origin;  ///< Human-readable provenance for messages.
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal top(std::string origin) {
+    return {Kind::kTop, {0, 0}, std::move(origin)};
+  }
+  static AbsVal interval(Interval iv, std::string origin) {
+    return {Kind::kInterval, iv, std::move(origin)};
+  }
+
+  bool operator==(const AbsVal& o) const {
+    return kind == o.kind && (kind != Kind::kInterval || iv == o.iv);
+  }
+};
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  using K = AbsVal::Kind;
+  if (a.kind == K::kBottom) return b;
+  if (b.kind == K::kBottom) return a;
+  if (a.kind == K::kTop) return a;
+  if (b.kind == K::kTop) return b;
+  AbsVal out = a;
+  out.iv.lo = std::min(a.iv.lo, b.iv.lo);
+  out.iv.hi = std::max(a.iv.hi, b.iv.hi);
+  return out;
+}
+
+/// One runnable's dataflow footprint: the slots it reads (data accesses plus
+/// its data-received trigger) and the slots it writes.
+struct RunnableFlow {
+  const std::string* instance;
+  const Runnable* runnable;
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+  /// Provided-port (port, element) per written slot, parallel to `writes`.
+  std::vector<std::pair<std::string, std::string>> write_ports;
+};
+
+struct FlowGraph {
+  std::vector<RunnableFlow> runnables;
+  /// Connector edges between slots: from provided slot to required slot.
+  std::vector<std::pair<std::string, std::string>> edges;
+  /// Written slot -> is it written at all (for V3-overlap guards).
+  std::set<std::string> written;
+  /// Required slots that have a feeding connector.
+  std::set<std::string> fed;
+};
+
+FlowGraph build_flow_graph(const vfb::Composition& model) {
+  FlowGraph g;
+  for (const auto& inst : model.instances()) {
+    const ComponentType* type = type_of(model, inst.name);
+    if (type == nullptr) continue;
+    for (const auto& r : type->runnables) {
+      RunnableFlow rf;
+      rf.instance = &inst.name;
+      rf.runnable = &r;
+      for (const auto& acc : r.accesses) {
+        const std::string key = slot_key(inst.name, acc.port, acc.element);
+        if (is_write(acc.kind)) {
+          rf.writes.push_back(key);
+          rf.write_ports.emplace_back(acc.port, acc.element);
+          g.written.insert(key);
+        } else {
+          rf.reads.push_back(key);
+        }
+      }
+      if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived) {
+        rf.reads.push_back(
+            slot_key(inst.name, r.trigger.port, r.trigger.element));
+      }
+      g.runnables.push_back(std::move(rf));
+    }
+  }
+  for (const auto& c : model.connectors()) {
+    const PortInterface* iface =
+        sr_interface(model, c.from_instance, c.from_port);
+    if (iface == nullptr) continue;
+    for (const auto& elem : iface->elements) {
+      g.edges.emplace_back(slot_key(c.from_instance, c.from_port, elem.name),
+                           slot_key(c.to_instance, c.to_port, elem.name));
+      g.fed.insert(slot_key(c.to_instance, c.to_port, elem.name));
+    }
+  }
+  return g;
+}
+
+/// Interval fixpoint over the graph. Monotone in the (Bottom < intervals <
+/// Top) lattice with hull joins over the finite set of guarantee endpoints,
+/// so it converges.
+std::map<std::string, AbsVal> propagate_ranges(const vfb::Composition& model,
+                                               const ContractMap& contracts,
+                                               const FlowGraph& g) {
+  std::map<std::string, AbsVal> val;
+  const auto get = [&](const std::string& key) -> AbsVal {
+    const auto it = val.find(key);
+    return it == val.end() ? AbsVal::bottom() : it->second;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto raise = [&](const std::string& key, const AbsVal& v) {
+      AbsVal next = join(get(key), v);
+      if (!(next == get(key))) {
+        val[key] = std::move(next);
+        changed = true;
+      }
+    };
+    for (const auto& rf : g.runnables) {
+      const auto cit = contracts.find(*rf.instance);
+      for (std::size_t i = 0; i < rf.writes.size(); ++i) {
+        // A direct guarantee on the written flow is authoritative (the
+        // component promises the range regardless of what it reads — V7
+        // checks the adjacent links); otherwise the write relays the hull
+        // of everything the runnable reads, and a read-free writer is an
+        // unconstrained source.
+        const FlowSpec* guarantee =
+            cit == contracts.end()
+                ? nullptr
+                : flow_of(cit->second, rf.write_ports[i].first,
+                          rf.write_ports[i].second, /*assume=*/false);
+        if (guarantee != nullptr && !unconstrained(guarantee->range)) {
+          raise(rf.writes[i],
+                AbsVal::interval(guarantee->range,
+                                 "guarantee " + cit->second.name + "." +
+                                     guarantee->flow));
+          continue;
+        }
+        if (rf.reads.empty()) {
+          raise(rf.writes[i],
+                AbsVal::top("unconstrained writer " +
+                            dot(*rf.instance, rf.runnable->name)));
+          continue;
+        }
+        AbsVal relay = AbsVal::bottom();
+        for (const auto& read : rf.reads) relay = join(relay, get(read));
+        if (relay.kind != AbsVal::Kind::kBottom) raise(rf.writes[i], relay);
+      }
+    }
+    for (const auto& [from, to] : g.edges) raise(to, get(from));
+  }
+  return val;
+}
+
+// ---------------------------------------------------------------------------
+// V9: generator mirror + holistic fixpoint.
+// ---------------------------------------------------------------------------
+
+std::string periodic_task_name(const std::string& instance, Duration period) {
+  return "tk|" + instance + "|" + std::to_string(period);
+}
+std::string event_task_name(const std::string& instance,
+                            const std::string& runnable) {
+  return "tk|" + instance + "|" + runnable;
+}
+
+/// Mirror of System::inlined_wcet, lenient on unresolvable calls (those are
+/// V1/V2 errors, not this pass's business).
+Duration inlined_wcet(const vfb::Composition& model,
+                      const std::string& instance, const Runnable& r) {
+  const ComponentType* type = type_of(model, instance);
+  if (type == nullptr) return 0;
+  Duration inlined = 0;
+  for (const auto& call : r.server_calls) {
+    const auto sep = call.find('.');
+    if (sep == std::string::npos) continue;
+    const Port* p = find_port(*type, call.substr(0, sep));
+    if (p == nullptr) continue;
+    const PortInterface* iface = model.find_interface(p->interface);
+    if (iface == nullptr) continue;
+    for (const auto& op : iface->operations) {
+      if (op.name == call.substr(sep + 1)) inlined += op.wcet;
+    }
+  }
+  return inlined;
+}
+
+Duration runnable_wcet(const vfb::Composition& model,
+                       const std::string& instance, const Runnable& r) {
+  Duration w = r.wcet_bound;
+  if (w <= 0 && r.execution_time) w = r.execution_time();
+  return w + inlined_wcet(model, instance, r);
+}
+
+/// The generator mirror: every task the deployment would emit, plus the
+/// writer-task index used to root chains.
+struct GeneratedTasks {
+  std::vector<analysis::DistTask> tasks;
+  /// (instance, runnable) -> event task name for data-received runnables.
+  std::map<std::pair<std::string, std::string>, std::string> event_task;
+  /// Smallest-period task writing slot (instance, port, element).
+  std::map<std::string, std::string> writer_task;
+};
+
+GeneratedTasks derive_tasks(const vfb::Composition& model,
+                            const DeploymentPlan& plan) {
+  GeneratedTasks out;
+  std::set<std::string> ecus;
+  for (const auto& [_, dep] : plan.instances) ecus.insert(dep.ecu);
+
+  for (const auto& ecu : ecus) {
+    struct Group {
+      std::string instance;
+      Duration period = 0;
+      Duration wcet = 0;
+    };
+    std::vector<Group> groups;
+    for (const auto& inst : model.instances()) {
+      const auto dep = plan.instances.find(inst.name);
+      if (dep == plan.instances.end() || dep->second.ecu != ecu) continue;
+      const ComponentType* type = type_of(model, inst.name);
+      if (type == nullptr) continue;
+      for (const auto& r : type->runnables) {
+        switch (r.trigger.kind) {
+          case RunnableTrigger::Kind::kTiming: {
+            auto git = std::find_if(groups.begin(), groups.end(),
+                                    [&](const Group& g) {
+                                      return g.instance == inst.name &&
+                                             g.period == r.trigger.period;
+                                    });
+            if (git == groups.end()) {
+              groups.push_back(Group{inst.name, r.trigger.period, 0});
+              git = groups.end() - 1;
+            }
+            git->wcet += runnable_wcet(model, inst.name, r);
+            break;
+          }
+          case RunnableTrigger::Kind::kDataReceived: {
+            analysis::DistTask t;
+            t.name = event_task_name(inst.name, r.name);
+            t.ecu = ecu;
+            t.wcet = runnable_wcet(model, inst.name, r);
+            t.period = 0;  // inherited through the chain
+            t.priority = plan.data_task_priority;
+            out.event_task[{inst.name, r.name}] = t.name;
+            out.tasks.push_back(std::move(t));
+            break;
+          }
+          case RunnableTrigger::Kind::kInit:
+            break;  // runs once before start; no task
+        }
+      }
+    }
+    std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+      if (a.period != b.period) return a.period < b.period;
+      return a.instance < b.instance;
+    });
+    int rank = 0;
+    for (const auto& g : groups) {
+      analysis::DistTask t;
+      t.name = periodic_task_name(g.instance, g.period);
+      t.ecu = ecu;
+      t.wcet = g.wcet;
+      t.period = g.period;
+      t.priority = vfb::kPeriodicBasePriority - rank++;
+      out.tasks.push_back(std::move(t));
+    }
+  }
+
+  // Which task publishes each written slot: the smallest-period timing
+  // runnable wins (System::writer_period semantics); event-relay writers
+  // root in their event task.
+  for (const auto& inst : model.instances()) {
+    if (plan.instances.find(inst.name) == plan.instances.end()) continue;
+    const ComponentType* type = type_of(model, inst.name);
+    if (type == nullptr) continue;
+    std::map<std::string, Duration> best_period;
+    for (const auto& r : type->runnables) {
+      for (const auto& acc : r.accesses) {
+        if (!is_write(acc.kind)) continue;
+        const std::string key = slot_key(inst.name, acc.port, acc.element);
+        if (r.trigger.kind == RunnableTrigger::Kind::kTiming &&
+            r.trigger.period > 0) {
+          const auto bit = best_period.find(key);
+          if (bit == best_period.end() || r.trigger.period < bit->second) {
+            best_period[key] = r.trigger.period;
+            out.writer_task[key] =
+                periodic_task_name(inst.name, r.trigger.period);
+          }
+        } else if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived &&
+                   best_period.find(key) == best_period.end() &&
+                   out.writer_task.find(key) == out.writer_task.end()) {
+          out.writer_task[key] = event_task_name(inst.name, r.name);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// One activation edge of the generated system: the writer's task to a
+/// data-received consumer, carried by the bus (cross-ECU) or directly
+/// (same ECU).
+struct ChainEdge {
+  std::string sender_key;  ///< Producing slot (sender ECU side).
+  std::string from_task;
+  std::string to_task;  ///< Empty = delivered but no event task.
+  std::string to_ecu;
+  bool cross_ecu = false;
+  Duration sort_period = sim::kForever;  ///< Writer's period, for frame ids.
+};
+
+std::vector<ChainEdge> derive_edges(const vfb::Composition& model,
+                                    const DeploymentPlan& plan,
+                                    const GeneratedTasks& gen) {
+  std::vector<ChainEdge> edges;
+  std::set<std::tuple<std::string, std::string, std::string>> seen;
+  for (const auto& c : model.connectors()) {
+    const auto from_dep = plan.instances.find(c.from_instance);
+    const auto to_dep = plan.instances.find(c.to_instance);
+    if (from_dep == plan.instances.end() || to_dep == plan.instances.end()) {
+      continue;
+    }
+    const PortInterface* iface =
+        sr_interface(model, c.from_instance, c.from_port);
+    if (iface == nullptr) continue;
+    const ComponentType* to_type = type_of(model, c.to_instance);
+    if (to_type == nullptr) continue;
+    const bool cross = from_dep->second.ecu != to_dep->second.ecu;
+    for (const auto& elem : iface->elements) {
+      const std::string sender_key =
+          slot_key(c.from_instance, c.from_port, elem.name);
+      const auto wit = gen.writer_task.find(sender_key);
+      if (wit == gen.writer_task.end()) continue;  // never written (V3)
+      // Consuming event tasks of this element on the receiver.
+      bool any_event = false;
+      for (const auto& r : to_type->runnables) {
+        if (r.trigger.kind != RunnableTrigger::Kind::kDataReceived ||
+            r.trigger.port != c.to_port || r.trigger.element != elem.name) {
+          continue;
+        }
+        const auto eit = gen.event_task.find({c.to_instance, r.name});
+        if (eit == gen.event_task.end()) continue;
+        any_event = true;
+        if (!seen.insert({sender_key, wit->second, eit->second}).second) {
+          continue;
+        }
+        ChainEdge e;
+        e.sender_key = sender_key;
+        e.from_task = wit->second;
+        e.to_task = eit->second;
+        e.to_ecu = to_dep->second.ecu;
+        e.cross_ecu = cross;
+        edges.push_back(std::move(e));
+      }
+      // Cross-ECU delivery without an event consumer still loads the bus.
+      if (cross && !any_event &&
+          seen.insert({sender_key, wit->second, "ecu:" + to_dep->second.ecu})
+              .second) {
+        ChainEdge e;
+        e.sender_key = sender_key;
+        e.from_task = wit->second;
+        e.to_ecu = to_dep->second.ecu;
+        e.cross_ecu = true;
+        edges.push_back(std::move(e));
+      }
+    }
+  }
+  // Frame-id ordering mirror: rate-monotonic by the writer's period.
+  std::map<std::string, Duration> task_period;
+  for (const auto& t : gen.tasks) {
+    task_period[t.name] = t.period > 0 ? t.period : sim::kForever;
+  }
+  for (auto& e : edges) {
+    const auto it = task_period.find(e.from_task);
+    if (it != task_period.end()) e.sort_period = it->second;
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const ChainEdge& a, const ChainEdge& b) {
+              if (a.cross_ecu != b.cross_ecu) return a.cross_ecu > b.cross_ecu;
+              if (a.sort_period != b.sort_period) {
+                return a.sort_period < b.sort_period;
+              }
+              if (a.sender_key != b.sender_key) {
+                return a.sender_key < b.sender_key;
+              }
+              return a.to_task < b.to_task;
+            });
+  return edges;
+}
+
+}  // namespace
+
+ChainAnalysis analyze_chains(const vfb::Composition& model,
+                             const DeploymentPlan& plan,
+                             const ContractMap& contracts) {
+  ChainAnalysis out;
+  const GeneratedTasks gen = derive_tasks(model, plan);
+  const std::vector<ChainEdge> edges = derive_edges(model, plan, gen);
+
+  // Periods must be derivable: chain heads carry their own, everything else
+  // inherits through the edges. Tasks that stay period-free (event tasks
+  // nothing ever activates — V3/V12 territory) are excluded from the model.
+  std::map<std::string, Duration> period;
+  for (const auto& t : gen.tasks) period[t.name] = t.period;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : edges) {
+      if (e.to_task.empty()) continue;
+      const Duration src = period.at(e.from_task);
+      Duration& dst = period.at(e.to_task);
+      if (src > 0 && (dst <= 0 || src < dst)) {
+        dst = src;
+        changed = true;
+      }
+    }
+  }
+  std::set<std::string> included;
+  for (const auto& t : gen.tasks) {
+    if (period.at(t.name) > 0) included.insert(t.name);
+  }
+
+  analysis::HolisticModel holistic;
+  for (const auto& t : gen.tasks) {
+    if (included.count(t.name)) holistic.add_task(t);
+  }
+  std::uint32_t next_id = plan.can_base_id;
+  std::map<std::string, std::vector<std::string>> msgs_of_sender;
+  for (const auto& e : edges) {
+    if (!included.count(e.from_task)) continue;
+    if (!e.to_task.empty() && !included.count(e.to_task)) continue;
+    if (e.cross_ecu) {
+      analysis::DistMessage m;
+      m.name = "msg|" + e.sender_key + "|" +
+               (e.to_task.empty() ? e.to_ecu : e.to_task);
+      m.id = next_id++;
+      m.bytes = 8;  // CAN maximum payload — conservative for any element
+      m.from_task = e.from_task;
+      m.to_task = e.to_task;
+      msgs_of_sender[e.sender_key].push_back(m.name);
+      holistic.add_message(std::move(m));
+    } else if (!e.to_task.empty()) {
+      holistic.add_dependency(e.from_task, e.to_task);
+    }
+  }
+
+  analysis::BusSpec bus;
+  if (plan.bus == vfb::BusKind::kCan) {
+    bus.can_bitrate_bps = plan.can.bitrate_bps;
+  } else {
+    bus.use_flexray = true;
+    bus.flexray = plan.flexray;
+    // Mirror the generator's config adjustment (System::build raises the
+    // payload floor; the slot count is raised inside the holistic model).
+    bus.flexray.static_payload_bytes =
+        std::max<std::size_t>(bus.flexray.static_payload_bytes, 8);
+  }
+  const analysis::HolisticResult result = holistic.analyze(bus);
+  out.schedulable = result.schedulable;
+  out.iterations = result.iterations;
+
+  // One bound per latency assumption of every bound contract.
+  for (const auto& [instance, contract] : contracts) {
+    for (const auto& a : contract.assumptions) {
+      if (a.timing.latency <= 0) continue;
+      ChainBound cb;
+      cb.contract = contract.name;
+      cb.instance = instance;
+      cb.flow = a.flow;
+      cb.deadline = a.timing.latency;
+
+      const SplitFlow f = split_flow(a.flow);
+      const ComponentType* type = type_of(model, instance);
+      if (type == nullptr) {
+        out.bounds.push_back(std::move(cb));
+        continue;
+      }
+      // The chain tail: the data-received runnable this flow activates
+      // (same selection as System::build_monitors' sink_detail).
+      for (const auto& r : type->runnables) {
+        if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived &&
+            r.trigger.port == f.port &&
+            (f.element.empty() || r.trigger.element == f.element)) {
+          const auto eit = gen.event_task.find({instance, r.name});
+          if (eit != gen.event_task.end()) cb.sink_task = eit->second;
+        }
+      }
+      if (result.schedulable) {
+        if (!cb.sink_task.empty() && included.count(cb.sink_task)) {
+          cb.bound = result.task_response.at(cb.sink_task);
+          cb.computable = true;
+        } else if (cb.sink_task.empty()) {
+          // No event consumer: the obligation ends at delivery (cross-ECU)
+          // or at the producer's publication (same ECU).
+          Duration worst = 0;
+          bool found = false;
+          for (const auto& subject : resolve_flow(model, instance, a.flow)) {
+            const auto mit = msgs_of_sender.find(subject);
+            if (mit != msgs_of_sender.end()) {
+              for (const auto& mname : mit->second) {
+                worst = std::max(worst, result.message_response.at(mname));
+                found = true;
+              }
+              continue;
+            }
+            const auto wit = gen.writer_task.find(subject);
+            if (wit != gen.writer_task.end() &&
+                included.count(wit->second)) {
+              worst = std::max(worst, result.task_response.at(wit->second));
+              found = true;
+            }
+          }
+          cb.bound = worst;
+          cb.computable = found;
+        }
+      }
+      out.bounds.push_back(std::move(cb));
+    }
+  }
+  return out;
+}
+
+void check_flow_ranges(const vfb::Composition& model,
+                       const ContractMap& contracts, Diagnostics& out) {
+  const FlowGraph g = build_flow_graph(model);
+  const std::map<std::string, AbsVal> val =
+      propagate_ranges(model, contracts, g);
+  const auto value = [&](const std::string& key) -> AbsVal {
+    const auto it = val.find(key);
+    return it == val.end() ? AbsVal::bottom() : it->second;
+  };
+
+  // --- V8: every constrained assumption against the propagated hull -------
+  for (const auto& [instance, contract] : contracts) {
+    for (const auto& a : contract.assumptions) {
+      if (unconstrained(a.range)) continue;
+      const SplitFlow f = split_flow(a.flow);
+      const Port* p = nullptr;
+      const PortInterface* iface = sr_interface(model, instance, f.port, &p);
+      if (iface == nullptr || p->direction != PortDirection::kRequired) {
+        continue;
+      }
+      const Connector* conn = model.connection_to(instance, f.port);
+      if (conn == nullptr) continue;  // V3's finding, nothing flows
+      // A direct guarantee on the feeding flow is V7's jurisdiction — V8
+      // only reports what the pairwise check cannot see.
+      const auto pit = contracts.find(conn->from_instance);
+      for (const auto& elem : iface->elements) {
+        if (!f.element.empty() && elem.name != f.element) continue;
+        if (pit != contracts.end() &&
+            flow_of(pit->second, conn->from_port, elem.name,
+                    /*assume=*/false) != nullptr) {
+          continue;
+        }
+        const std::string key = slot_key(instance, f.port, elem.name);
+        const AbsVal v = value(key);
+        const std::string subject = key;
+        switch (v.kind) {
+          case AbsVal::Kind::kBottom:
+            break;  // nothing dynamic arrives: V3/V12 territory
+          case AbsVal::Kind::kTop:
+            out.add("V8", Severity::kWarning, subject,
+                    "assumption range " + interval_str(a.range) +
+                        " cannot be established: the transitive source is "
+                        "unconstrained (" + v.origin + ")",
+                    "add a range guarantee to the producing component's "
+                    "contract");
+            break;
+          case AbsVal::Kind::kInterval:
+            if (v.iv.hi < a.range.lo || v.iv.lo > a.range.hi) {
+              out.add("V8", Severity::kError, subject,
+                      "transitive value range " + interval_str(v.iv) +
+                          " (via " + v.origin +
+                          ") can never satisfy assumption " +
+                          interval_str(a.range),
+                      "the chain delivers values outside the assumed window; "
+                      "fix the source guarantee or the assumption");
+            } else if (!a.range.contains(v.iv)) {
+              out.add("V8", Severity::kWarning, subject,
+                      "transitive value range " + interval_str(v.iv) +
+                          " (via " + v.origin + ") may exceed assumption " +
+                          interval_str(a.range),
+                      "tighten the upstream guarantees or widen the "
+                      "assumption");
+            }
+            break;
+        }
+      }
+    }
+  }
+
+  // --- V12: liveness on the same graph ------------------------------------
+  // Forward: can a slot's value ever change after init? Autonomous writers
+  // (no reads) produce; relays produce iff some input does.
+  std::map<std::string, bool> productive;
+  const auto prod = [&](const std::string& key) {
+    const auto it = productive.find(key);
+    return it != productive.end() && it->second;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto raise = [&](const std::string& key, bool v) {
+      if (v && !prod(key)) {
+        productive[key] = true;
+        changed = true;
+      }
+    };
+    for (const auto& rf : g.runnables) {
+      bool produces = rf.reads.empty();
+      for (const auto& read : rf.reads) produces = produces || prod(read);
+      for (const auto& w : rf.writes) raise(w, produces);
+    }
+    for (const auto& [from, to] : g.edges) raise(to, prod(from));
+  }
+  // Backward: does a written value ever reach a terminal consumer? A reader
+  // that writes nothing consumes; a relay consumes iff something it writes
+  // is consumed downstream.
+  std::map<std::string, bool> consumed;
+  const auto cons = [&](const std::string& key) {
+    const auto it = consumed.find(key);
+    return it != consumed.end() && it->second;
+  };
+  changed = true;
+  while (changed) {
+    changed = false;
+    const auto raise = [&](const std::string& key, bool v) {
+      if (v && !cons(key)) {
+        consumed[key] = true;
+        changed = true;
+      }
+    };
+    for (const auto& rf : g.runnables) {
+      bool consumes = rf.writes.empty();
+      for (const auto& w : rf.writes) consumes = consumes || cons(w);
+      for (const auto& read : rf.reads) raise(read, consumes);
+    }
+    for (const auto& [from, to] : g.edges) raise(from, cons(to));
+  }
+
+  // Fire only where V3 stays silent: the immediate link is fine, the chain
+  // beyond it is dead. One diagnostic per slot.
+  std::set<std::string> reported;
+  for (const auto& rf : g.runnables) {
+    for (const auto& read : rf.reads) {
+      if (prod(read) || !g.fed.count(read)) continue;  // unfed: V3 warning
+      // The feeding slot must itself be written (else V3 flags the element
+      // as never written) — V12 adds the *transitive* case.
+      bool fed_by_written = false;
+      for (const auto& [from, to] : g.edges) {
+        if (to == read && g.written.count(from)) fed_by_written = true;
+      }
+      if (!fed_by_written) continue;
+      if (!reported.insert(read).second) continue;
+      out.add("V12", Severity::kWarning, read,
+              "dead flow: the value read here can never change — every "
+              "transitive source only relays initial values",
+              "the relay chain upstream has no autonomous producer; connect "
+              "a real source or drop the consumer");
+    }
+  }
+  for (const auto& rf : g.runnables) {
+    for (std::size_t i = 0; i < rf.writes.size(); ++i) {
+      const std::string& w = rf.writes[i];
+      if (cons(w)) continue;
+      // Only when the write is connected and its elements are read by the
+      // immediate receiver (both V3-silent): the dead end is further down.
+      bool delivered_and_read = false;
+      for (const auto& [from, to] : g.edges) {
+        if (from != w) continue;
+        for (const auto& other : g.runnables) {
+          for (const auto& read : other.reads) {
+            if (read == to) delivered_and_read = true;
+          }
+        }
+      }
+      if (!delivered_and_read) continue;
+      if (!reported.insert(w).second) continue;
+      out.add("V12", Severity::kInfo, w,
+              "dead flow: this write is relayed downstream but no terminal "
+              "consumer ever reads the result",
+              "the relay chain ends in unread or unconnected flows; wire up "
+              "a consumer or remove the chain");
+    }
+  }
+}
+
+void check_chain_deadlines(const vfb::Composition& model,
+                           const DeploymentPlan& plan,
+                           const ContractMap& contracts, Diagnostics& out) {
+  bool any = false;
+  for (const auto& [_, contract] : contracts) {
+    for (const auto& a : contract.assumptions) {
+      if (a.timing.latency > 0) any = true;
+    }
+  }
+  if (!any) return;
+  const ChainAnalysis chains = analyze_chains(model, plan, contracts);
+  for (const auto& b : chains.bounds) {
+    const std::string subject = dot(b.instance, b.flow);
+    if (!b.computable) {
+      out.add("V9", Severity::kWarning, subject,
+              "end-to-end latency obligation of contract " + b.contract +
+                  " (" + std::to_string(b.deadline) +
+                  " ns) cannot be statically bounded" +
+                  (chains.schedulable
+                       ? " (chain does not resolve to analyzable tasks)"
+                       : " (holistic fixpoint found the deployment "
+                         "unschedulable or divergent)"),
+              "give every chain stage a WCET bound and a derivable period");
+      continue;
+    }
+    if (b.bound > b.deadline) {
+      out.add("V9", Severity::kError, subject,
+              "contract " + b.contract + " assumes latency <= " +
+                  std::to_string(b.deadline) +
+                  " ns but the holistic bound over " +
+                  (b.sink_task.empty() ? std::string("the delivery path")
+                                       : "task " + b.sink_task) +
+                  " is " + std::to_string(b.bound) + " ns",
+              "shorten the chain, raise priorities, or relax the assumption");
+    } else {
+      out.add("V9", Severity::kInfo, subject,
+              "end-to-end obligation holds statically: bound " +
+                  std::to_string(b.bound) + " ns <= deadline " +
+                  std::to_string(b.deadline) + " ns (slack " +
+                  std::to_string(b.deadline - b.bound) + " ns, " +
+                  std::to_string(chains.iterations) +
+                  " fixpoint iterations)");
+    }
+  }
+}
+
+void check_monitor_coverage(const vfb::Composition& model,
+                            const DeploymentPlan* plan,
+                            const ContractMap& contracts, Diagnostics& out) {
+  std::size_t obligations = 0;
+  for (const auto& [instance, contract] : contracts) {
+    if (model.find_instance(instance) == nullptr) continue;  // V1's finding
+    for (const auto& g : contract.guarantees) {
+      const bool timed = g.timing.period > 0;
+      if (timed) {
+        ++obligations;
+        if (resolve_flow(model, instance, g.flow).empty()) {
+          out.add("V10", Severity::kWarning, dot(instance, g.flow),
+                  "arrival guarantee of contract " + contract.name +
+                      " resolves to no traced flow: no monitor will watch it",
+                  "name an existing \"port\" or \"port.element\" flow, or "
+                  "connect the port");
+        }
+      }
+      if (!unconstrained(g.range)) {
+        out.add("V10", Severity::kInfo, dot(instance, g.flow),
+                "value-range guarantee of contract " + contract.name +
+                    " has no runtime monitor type; it is checked statically "
+                    "only (V7/V8)");
+      }
+    }
+    for (const auto& a : contract.assumptions) {
+      if (a.timing.latency <= 0) continue;
+      ++obligations;
+      if (resolve_flow(model, instance, a.flow).empty()) {
+        out.add("V10", Severity::kWarning, dot(instance, a.flow),
+                "latency assumption of contract " + contract.name +
+                    " resolves to no traced flow: no monitor will watch it",
+                "the flow must resolve through a feeding connector to a "
+                "producer");
+      }
+    }
+    if (contract.behaviour.has_value()) {
+      ++obligations;
+      bool any_label = false;
+      for (const auto& binding : contract.behaviour->bindings) {
+        if (!resolve_flow(model, instance, binding.flow).empty()) {
+          any_label = true;
+        }
+      }
+      if (!any_label) {
+        out.add("V10", Severity::kWarning, instance,
+                "behavioural contract " + contract.name +
+                    " has no resolvable label binding: the automaton "
+                    "observer would see no events",
+                "bind at least one flow that resolves to a traced subject");
+      }
+    }
+  }
+  if (plan != nullptr && !plan->runtime_verification && obligations > 0) {
+    out.add("V10", Severity::kWarning, "deployment",
+            "runtime verification is disabled but " +
+                std::to_string(obligations) +
+                " contract obligation(s) exist: nothing watches them at "
+                "runtime",
+            "set plan.runtime_verification = true or drop the contracts");
+  }
+}
+
+void check_resource_budgets(const vfb::Composition& model,
+                            const DeploymentPlan& plan,
+                            const ContractMap& contracts, Diagnostics& out) {
+  // Generated per-instance CPU share: periodic runnables' wcet/period on the
+  // instance's ECU (event tasks inherit chain periods and are judged by V9).
+  std::map<std::string, double> measured;
+  for (const auto& inst : model.instances()) {
+    if (plan.instances.find(inst.name) == plan.instances.end()) continue;
+    const ComponentType* type = type_of(model, inst.name);
+    if (type == nullptr) continue;
+    double u = 0.0;
+    for (const auto& r : type->runnables) {
+      if (r.trigger.kind != RunnableTrigger::Kind::kTiming ||
+          r.trigger.period <= 0) {
+        continue;
+      }
+      u += static_cast<double>(runnable_wcet(model, inst.name, r)) /
+           static_cast<double>(r.trigger.period);
+    }
+    measured[inst.name] = u;
+  }
+
+  std::map<std::string, double> declared_per_ecu;
+  double declared_bus_bps = 0.0;
+  for (const auto& [instance, contract] : contracts) {
+    const auto dep = plan.instances.find(instance);
+    if (dep == plan.instances.end()) continue;
+    const contracts::ResourceSpec& v = contract.vertical;
+    declared_bus_bps += v.bus_bandwidth_bps;
+    if (v.cpu_utilization <= 0) continue;
+    declared_per_ecu[dep->second.ecu] += v.cpu_utilization;
+    const auto mit = measured.find(instance);
+    if (mit != measured.end() && mit->second > v.cpu_utilization) {
+      out.add("V11", Severity::kWarning, instance,
+              "generated periodic load " + std::to_string(mit->second) +
+                  " of instance " + instance +
+                  " exceeds its vertical CPU assumption " +
+                  std::to_string(v.cpu_utilization) + " (contract " +
+                  contract.name + ")",
+              "raise the vertical assumption or reduce WCET/periods");
+    }
+  }
+  for (const auto& [ecu, sum] : declared_per_ecu) {
+    if (sum > 1.0) {
+      out.add("V11", Severity::kError, ecu,
+              "vertical CPU assumptions of the instances deployed on " + ecu +
+                  " sum to " + std::to_string(sum) +
+                  " > 1.0: the contracts oversubscribe the node",
+              "move an instance to another ECU or renegotiate the "
+              "assumptions");
+    }
+  }
+  const double bitrate = plan.bus == vfb::BusKind::kCan
+                             ? static_cast<double>(plan.can.bitrate_bps)
+                             : static_cast<double>(plan.flexray.bitrate_bps);
+  if (declared_bus_bps > bitrate && bitrate > 0) {
+    out.add("V11", Severity::kWarning, "bus",
+            "declared bus-bandwidth assumptions sum to " +
+                std::to_string(declared_bus_bps) + " bps > bus bitrate " +
+                std::to_string(bitrate) + " bps",
+            "the vertical assumptions exceed what the medium offers");
+  }
+}
+
+}  // namespace orte::validation

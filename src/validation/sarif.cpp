@@ -1,0 +1,148 @@
+#include "validation/sarif.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace orte::validation {
+
+namespace {
+
+/// JSON string escaping per RFC 8259: the two mandatory escapes plus
+/// control characters as \u00XX.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kInfo:
+      return "note";
+  }
+  return "none";
+}
+
+/// One-line descriptions for the reportingDescriptor table. Rules are
+/// stable IDs (DESIGN.md §4); unknown IDs get a generic text so the export
+/// never fails on a rule added later.
+std::string_view rule_description(std::string_view rule) {
+  static const std::map<std::string_view, std::string_view> kRules = {
+      {"V1", "Every referenced name resolves (interfaces, types, ports)"},
+      {"V2", "Accesses and triggers agree with port kind and direction"},
+      {"V3", "Connectivity: no unconnected, unwritten, or unread flows"},
+      {"V4", "Cross-task data races on unprotected shared flows"},
+      {"V5", "Deployment sanity: mapping, partitions, timing bounds"},
+      {"V6", "Client/server call graph resolves and terminates"},
+      {"V7", "Pairwise contract compatibility across connectors"},
+      {"V8", "Transitive flow value ranges (whole-chain interval analysis)"},
+      {"V9", "End-to-end latency obligations vs holistic static bound"},
+      {"V10", "Contract obligations covered by runtime monitors"},
+      {"V11", "Resource budgets vs vertical contract assumptions"},
+      {"V12", "Dead or unreachable data flows in relay chains"},
+  };
+  const auto it = kRules.find(rule);
+  return it == kRules.end() ? std::string_view("orte model validation rule")
+                            : it->second;
+}
+
+}  // namespace
+
+std::string to_sarif(const Diagnostics& report) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"orte-validator\",\n"
+      "          \"informationUri\": "
+      "\"https://example.org/orte\",\n"
+      "          \"rules\": [\n";
+  const std::vector<std::string> rules = report.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\n";
+    out += "              \"id\": \"" + json_escape(rules[i]) + "\",\n";
+    out += "              \"shortDescription\": { \"text\": \"" +
+           json_escape(rule_description(rules[i])) + "\" }\n";
+    out += "            }";
+    out += (i + 1 < rules.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  const auto& diags = report.all();
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(d.rule) + "\",\n";
+    out += "          \"level\": \"" + std::string(sarif_level(d.severity)) +
+           "\",\n";
+    out += "          \"message\": { \"text\": \"" + json_escape(d.message) +
+           "\" },\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"logicalLocations\": [\n"
+        "                { \"fullyQualifiedName\": \"" +
+        json_escape(d.subject) +
+        "\" }\n"
+        "              ]\n"
+        "            }\n"
+        "          ]";
+    if (!d.hint.empty()) {
+      out += ",\n          \"properties\": { \"hint\": \"" +
+             json_escape(d.hint) + "\" }";
+    }
+    out += "\n        }";
+    out += (i + 1 < diags.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace orte::validation

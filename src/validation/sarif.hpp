@@ -1,0 +1,24 @@
+// SARIF 2.1.0 export of validation diagnostics — the interchange format CI
+// systems (GitHub code scanning, Azure DevOps, ...) ingest natively, so the
+// model linter's V1..V12 findings surface in the same review surfaces as
+// compiler and clang-tidy output.
+//
+// One run, one tool ("orte-validator"), one reportingDescriptor per distinct
+// rule ID present, one result per diagnostic. The model path (Diagnostic::
+// subject, e.g. "brake.in.force") has no file/line, so it is emitted as a
+// logicalLocation fullyQualifiedName — the SARIF-sanctioned way to anchor
+// results in non-textual artifacts. Fix hints ride in result.properties.hint.
+#pragma once
+
+#include <string>
+
+#include "validation/diagnostics.hpp"
+
+namespace orte::validation {
+
+/// Serialize a report as a SARIF 2.1.0 JSON document (UTF-8, two-space
+/// indent, trailing newline). Severities map kError -> "error", kWarning ->
+/// "warning", kInfo -> "note".
+[[nodiscard]] std::string to_sarif(const Diagnostics& report);
+
+}  // namespace orte::validation

@@ -1,5 +1,7 @@
 #include "validation/validator.hpp"
 
+#include "validation/flow_analysis.hpp"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -14,7 +16,6 @@ namespace {
 using vfb::ComponentType;
 using vfb::Composition;
 using vfb::Connector;
-using vfb::DataAccess;
 using vfb::DataAccessKind;
 using vfb::DataElement;
 using vfb::DeploymentPlan;
@@ -91,6 +92,17 @@ class Pass {
       check_races();       // V4
     }
     check_contracts();  // V7
+    if (!contracts_.empty()) {
+      // Whole-program passes (flow_analysis.cpp): transitive ranges and
+      // dead flows need only the model; deadline/budget cross-checks need
+      // the deployment too.
+      check_flow_ranges(model_, contracts_, out_);             // V8/V12
+      check_monitor_coverage(model_, plan_, contracts_, out_); // V10
+      if (plan_ != nullptr) {
+        check_chain_deadlines(model_, *plan_, contracts_, out_);  // V9
+        check_resource_budgets(model_, *plan_, contracts_, out_); // V11
+      }
+    }
     return std::move(out_);
   }
 

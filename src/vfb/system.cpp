@@ -361,6 +361,14 @@ void System::build() {
   }
 
   build_tasks();
+  // Static end-to-end bounds (holistic fixpoint over the generated chains),
+  // computed once: build_monitors stamps them into each LatencySpec and
+  // analyze() reports them next to the task/PDU responses.
+  if (!model_.bound_contracts().empty()) {
+    chain_bounds_ =
+        validation::analyze_chains(model_, plan_, model_.bound_contracts())
+            .bounds;
+  }
   if (plan_.runtime_verification) build_monitors();
 
   // Warm the trace's intern tables with the categories and subjects the
@@ -468,7 +476,9 @@ void System::build_monitors() {
 
     // (3) Latency monitors: every assumption with a latency bound watches the
     // chain from the feeding producer's write to this instance's consuming
-    // runnable activation.
+    // runnable activation. Each spec also records the holistic static bound
+    // of the same chain (computed once below), so the monitor carries both
+    // halves of the static/dynamic cross-check.
     for (const auto& a : contract.assumptions) {
       if (a.timing.latency <= 0) continue;
       const auto dot = a.flow.find('.');
@@ -490,6 +500,18 @@ void System::build_monitors() {
           }
         }
       }
+      // Only a chain ending in a data-received task gets its bound stamped:
+      // there the monitor's write->activation span is covered by the event
+      // task's holistic response. For periodic sinks the monitor measures
+      // sampling age (write -> next periodic activation), which the
+      // delivery-path bound deliberately does not claim to cover.
+      sim::Duration static_bound = 0;
+      for (const auto& cb : chain_bounds_) {
+        if (cb.contract == contract.name && cb.instance == instance &&
+            cb.flow == a.flow && cb.computable && !cb.sink_task.empty()) {
+          static_bound = cb.bound;
+        }
+      }
       for (const auto& subject : resolve_flow(instance, a.flow)) {
         rv::LatencySpec spec;
         spec.contract = contract.name;
@@ -497,6 +519,7 @@ void System::build_monitors() {
         spec.sink_subject = instance;
         spec.sink_detail = sink_detail;
         spec.bound = a.timing.latency;
+        spec.static_bound = static_bound;
         spec.confidence = a.confidence;
         registry_->add_latency(std::move(spec));
       }
@@ -810,6 +833,9 @@ SystemAnalysis System::analyze() const {
                         static_cast<double>(cycle)
                   : 0.0;
   }
+  // End-to-end chain bounds computed at generation time — the static half
+  // of the cross-check against the rv::LatencyMonitor observations.
+  out.chain_bounds = chain_bounds_;
   return out;
 }
 

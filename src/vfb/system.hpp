@@ -28,6 +28,7 @@
 #include "rv/registry.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
+#include "validation/flow_analysis.hpp"
 #include "vfb/deployment.hpp"
 #include "vfb/model.hpp"
 #include "vfb/rte.hpp"
@@ -44,6 +45,10 @@ struct SystemAnalysis {
   double bus_utilization = 0.0;
   std::map<std::string, sim::Duration> task_response;  ///< Worst case, ns.
   std::map<std::string, sim::Duration> pdu_response;   ///< Worst case, ns.
+  /// Holistic end-to-end bound per contract latency assumption (the static
+  /// half of the static/dynamic cross-check; the same bounds are recorded in
+  /// each rv::LatencyMonitor's spec as `static_bound`).
+  std::vector<validation::ChainBound> chain_bounds;
 };
 
 /// A generated, runnable distributed system.
@@ -146,6 +151,9 @@ class System {
   };
   std::vector<AnalyzedTask> analyzed_tasks_;
   std::vector<AnalyzedPdu> analyzed_pdus_;
+  /// Holistic end-to-end bounds, one per contract latency assumption
+  /// (validation::analyze_chains over the generated deployment).
+  std::vector<validation::ChainBound> chain_bounds_;
 };
 
 }  // namespace orte::vfb

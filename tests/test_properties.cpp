@@ -752,4 +752,113 @@ TEST_P(ValidatorCompleteness, RejectedModelIsRejectedByStrictConstruction) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorCompleteness,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// --- V9 static/dynamic cross-check fuzz ----------------------------------------
+//
+// Property: for every random multi-ECU chain model the generator accepts,
+// the holistic V9 bound stamped into each rv::LatencyMonitor dominates the
+// latency that monitor actually observes over a long run — the static
+// analysis is sound w.r.t. the executable system it was derived from.
+
+class ChainBoundFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainBoundFuzz, StaticChainBoundDominatesObservedLatency) {
+  using namespace orte::vfb;
+  Rng rng(GetParam());
+  Composition comp;
+  DeploymentPlan plan;
+  if (rng.index(3) == 0) plan.bus = BusKind::kFlexRay;
+  const std::vector<sim::Duration> periods{milliseconds(5), milliseconds(10),
+                                           milliseconds(20)};
+  const std::size_t pipelines = 1 + rng.index(3);
+  for (std::size_t i = 0; i < pipelines; ++i) {
+    const std::string s = std::to_string(i);
+    PortInterface iface;
+    iface.name = "I" + s;
+    iface.kind = PortInterface::Kind::kSenderReceiver;
+    iface.elements.push_back(DataElement{"val", 32, 0, false});
+    comp.add_interface(iface);
+
+    Runnable produce;
+    produce.name = "produce";
+    produce.trigger =
+        RunnableTrigger::timing(periods[rng.index(periods.size())]);
+    produce.wcet_bound = microseconds(
+        50 + 100 * static_cast<std::int64_t>(rng.index(5)));
+    produce.accesses.push_back(
+        {"out", "val", DataAccessKind::kImplicitWrite});
+    produce.behavior = [](RunnableContext& ctx) {
+      ctx.write("out", "val", 42);
+    };
+    comp.add_type({"P" + s,
+                   {Port{"out", iface.name, PortDirection::kProvided}},
+                   {produce}});
+
+    // Mix of event-triggered consumers (watched 1:1 activation chains) and
+    // periodic readers (pure interference on the receiving ECU).
+    Runnable consume;
+    consume.name = "consume";
+    const bool event_sink = rng.index(3) != 0;
+    if (event_sink) {
+      consume.trigger = RunnableTrigger::data_received("in", "val");
+    } else {
+      consume.trigger =
+          RunnableTrigger::timing(periods[rng.index(periods.size())]);
+    }
+    consume.wcet_bound = microseconds(
+        50 + 100 * static_cast<std::int64_t>(rng.index(5)));
+    consume.accesses.push_back(
+        {"in", "val", DataAccessKind::kImplicitRead});
+    comp.add_type({"C" + s,
+                   {Port{"in", iface.name, PortDirection::kRequired}},
+                   {consume}});
+
+    comp.add_instance({"p" + s, "P" + s});
+    comp.add_instance({"k" + s, "C" + s});
+    comp.add_connector({"p" + s, "out", "k" + s, "in"});
+    plan.instances["p" + s] = {.ecu = rng.index(2) == 0 ? "E0" : "E1"};
+    plan.instances["k" + s] = {.ecu = rng.index(2) == 0 ? "E0" : "E1"};
+
+    // A generous latency obligation on every event sink: far above any
+    // schedulable bound, so V9 reports info (never an error that would
+    // abort generation) and the monitor gets its static_bound stamped.
+    if (event_sink) {
+      contracts::Contract c{.name = "CChain" + s};
+      c.assumptions.push_back(
+          contracts::FlowSpec{.flow = "in.val",
+                              .timing = {.latency = sim::seconds(5)}});
+      comp.bind_contract("k" + s, c);
+    }
+  }
+
+  const auto report = validation::validate(comp, plan);
+  ASSERT_FALSE(report.has_errors()) << report.render();
+
+  Kernel kernel;
+  Trace trace;
+  trace.enable_retention(false);
+  vfb::System sys(kernel, trace, comp, plan);
+  const auto analysis = sys.analyze();
+  sys.start();
+  sys.run_for(milliseconds(400));
+
+  std::size_t checked = 0;
+  for (const rv::LatencyMonitor* lm : sys.monitors()->latency_monitors()) {
+    if (lm->spec().static_bound <= 0) continue;  // chain not statically bounded
+    ASSERT_GT(lm->samples(), 0u)
+        << lm->spec().contract << " seed=" << GetParam();
+    EXPECT_LE(lm->worst(), lm->spec().static_bound)
+        << lm->spec().contract << " seed=" << GetParam();
+    ++checked;
+  }
+  // Every computable event-sink chain bound must have reached its monitor.
+  std::size_t computable = 0;
+  for (const auto& cb : analysis.chain_bounds) {
+    if (cb.computable && !cb.sink_task.empty()) ++computable;
+  }
+  EXPECT_EQ(checked, computable) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainBoundFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
 }  // namespace

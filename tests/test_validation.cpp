@@ -1,8 +1,10 @@
-// Unit tests: static model validator (rules V1..V7) and the Diagnostics API.
+// Unit tests: static model validator (rules V1..V12), the Diagnostics API
+// and the SARIF exporter.
 //
 // Each rule gets at least one deliberately broken model plus, where the rule
-// separates safe from unsafe variants (V4 explicit vs implicit accesses),
-// the passing twin of the broken model.
+// separates safe from unsafe variants (V4 explicit vs implicit accesses,
+// V8 transitive range overlap, V12 dead vs live relay chains), the passing
+// twin of the broken model.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +15,7 @@
 #include "contracts/contract.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
+#include "validation/sarif.hpp"
 #include "validation/validator.hpp"
 #include "vfb/model.hpp"
 #include "vfb/system.hpp"
@@ -519,6 +522,361 @@ TEST(ValidatorStrict, WarningsDoNotBlockGeneration) {
   Kernel kernel;
   Trace trace;
   EXPECT_NO_THROW(System(kernel, trace, c, same_ecu_plan()));
+}
+
+// --- V8: transitive flow ranges --------------------------------------------------
+
+/// Producer -> relay -> consumer; the relay has no contract, so the pairwise
+/// V7 check cannot relate the producer's guarantee to the consumer's
+/// assumption — only the transitive V8 propagation can.
+Composition relay_chain() {
+  Composition c;
+  c.add_interface(value_interface("IVal"));
+  Runnable produce = timing_runnable("produce", milliseconds(5));
+  produce.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  Runnable relay = timing_runnable("relay", milliseconds(5));
+  relay.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  relay.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  Runnable consume = timing_runnable("consume", milliseconds(10));
+  consume.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  c.add_type({"Producer", {Port{"out", "IVal", PortDirection::kProvided}},
+              {produce}});
+  c.add_type({"Relay",
+              {Port{"in", "IVal", PortDirection::kRequired},
+               Port{"out", "IVal", PortDirection::kProvided}},
+              {relay}});
+  c.add_type({"Consumer", {Port{"in", "IVal", PortDirection::kRequired}},
+              {consume}});
+  c.add_instance({"p", "Producer"});
+  c.add_instance({"r", "Relay"});
+  c.add_instance({"k", "Consumer"});
+  c.add_connector({"p", "out", "r", "in"});
+  c.add_connector({"r", "out", "k", "in"});
+  return c;
+}
+
+TEST(ValidatorV8, TransitiveEmptyIntersectionIsAnError) {
+  Contract producer{.name = "CProd"};
+  producer.guarantees.push_back(
+      FlowSpec{.flow = "out.val", .range = Interval{0, 100}});
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(
+      FlowSpec{.flow = "in.val", .range = Interval{200, 300}});
+  const Diagnostics d = Validator(relay_chain())
+                            .with_contract("p", producer)
+                            .with_contract("k", consumer)
+                            .run();
+  // The uncontracted relay hides this from the pairwise check...
+  EXPECT_FALSE(has_rule(d, "V7"));
+  // ...but the interval propagation sees [0,100] meet [200,300] = empty.
+  const auto v8 = d.by_rule("V8");
+  ASSERT_FALSE(v8.empty());
+  EXPECT_EQ(v8.front()->severity, Severity::kError);
+  EXPECT_EQ(v8.front()->subject, "k.in.val");
+  EXPECT_NE(v8.front()->message.find("can never satisfy"), std::string::npos);
+}
+
+TEST(ValidatorV8, UnconstrainedTransitiveSourceWarns) {
+  // No producer contract at all: the consumer's assumption rests on a
+  // source the analysis knows nothing about.
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(
+      FlowSpec{.flow = "in.val", .range = Interval{200, 300}});
+  const Diagnostics d =
+      Validator(relay_chain()).with_contract("k", consumer).run();
+  const auto v8 = d.by_rule("V8");
+  ASSERT_FALSE(v8.empty());
+  EXPECT_EQ(v8.front()->severity, Severity::kWarning);
+  EXPECT_NE(v8.front()->message.find("unconstrained"), std::string::npos);
+}
+
+TEST(ValidatorV8, ContainedTransitiveRangePassesClean) {
+  Contract producer{.name = "CProd"};
+  producer.guarantees.push_back(
+      FlowSpec{.flow = "out.val", .range = Interval{0, 100}});
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(
+      FlowSpec{.flow = "in.val", .range = Interval{-10, 500}});
+  const Diagnostics d = Validator(relay_chain())
+                            .with_contract("p", producer)
+                            .with_contract("k", consumer)
+                            .run();
+  EXPECT_FALSE(has_rule(d, "V8")) << d.render();
+}
+
+// --- V9: static end-to-end deadlines ---------------------------------------------
+
+/// Timing producer on one ECU feeding a data-received sink on another: the
+/// exact chain shape the holistic fixpoint bounds and a LatencyMonitor
+/// would watch.
+Composition event_chain() {
+  Composition c;
+  c.add_interface(value_interface("IVal"));
+  Runnable produce = timing_runnable("produce", milliseconds(5));
+  produce.wcet_bound = orte::sim::microseconds(200);
+  produce.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  Runnable consume;
+  consume.name = "consume";
+  consume.trigger = RunnableTrigger::data_received("in", "val");
+  consume.wcet_bound = orte::sim::microseconds(100);
+  consume.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  c.add_type({"Producer", {Port{"out", "IVal", PortDirection::kProvided}},
+              {produce}});
+  c.add_type({"Consumer", {Port{"in", "IVal", PortDirection::kRequired}},
+              {consume}});
+  c.add_instance({"p", "Producer"});
+  c.add_instance({"k", "Consumer"});
+  c.add_connector({"p", "out", "k", "in"});
+  return c;
+}
+
+DeploymentPlan cross_ecu_plan() {
+  DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "E0"};
+  plan.instances["k"] = {.ecu = "E1"};
+  return plan;
+}
+
+TEST(ValidatorV9, DeadlineBelowStaticBoundIsAnError) {
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(FlowSpec{
+      .flow = "in.val", .timing = {.latency = orte::sim::microseconds(1)}});
+  const Diagnostics d = Validator(event_chain())
+                            .with_deployment(cross_ecu_plan())
+                            .with_contract("k", consumer)
+                            .run();
+  const auto v9 = d.by_rule("V9");
+  ASSERT_FALSE(v9.empty());
+  EXPECT_EQ(v9.front()->severity, Severity::kError);
+  EXPECT_EQ(v9.front()->subject, "k.in.val");
+}
+
+TEST(ValidatorV9, GenerousDeadlineReportsSlackNotError) {
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(FlowSpec{
+      .flow = "in.val", .timing = {.latency = orte::sim::seconds(1)}});
+  const Diagnostics d = Validator(event_chain())
+                            .with_deployment(cross_ecu_plan())
+                            .with_contract("k", consumer)
+                            .run();
+  const auto v9 = d.by_rule("V9");
+  ASSERT_FALSE(v9.empty());
+  EXPECT_EQ(v9.front()->severity, Severity::kInfo);
+  EXPECT_NE(v9.front()->message.find("slack"), std::string::npos);
+  EXPECT_FALSE(d.has_errors()) << d.render();
+}
+
+// --- V10: monitor coverage -------------------------------------------------------
+
+TEST(ValidatorV10, UnresolvableLatencyAssumptionWarns) {
+  const Composition c = pipeline(DataAccessKind::kImplicitWrite,
+                                 DataAccessKind::kImplicitRead);
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(FlowSpec{
+      .flow = "nosuch.val", .timing = {.latency = milliseconds(1)}});
+  const Diagnostics d = Validator(c).with_contract("k", consumer).run();
+  const auto v10 = d.by_rule("V10");
+  ASSERT_FALSE(v10.empty());
+  EXPECT_EQ(v10.front()->severity, Severity::kWarning);
+  EXPECT_NE(v10.front()->message.find("no traced flow"), std::string::npos);
+}
+
+TEST(ValidatorV10, DisabledRuntimeVerificationWithObligationsWarns) {
+  const Composition c = pipeline(DataAccessKind::kImplicitWrite,
+                                 DataAccessKind::kImplicitRead);
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(FlowSpec{
+      .flow = "in.val", .timing = {.latency = orte::sim::seconds(1)}});
+  DeploymentPlan plan = same_ecu_plan();
+  plan.runtime_verification = false;
+  const Diagnostics d =
+      Validator(c).with_deployment(plan).with_contract("k", consumer).run();
+  bool global = false;
+  for (const auto* diag : d.by_rule("V10")) {
+    if (diag->subject == "deployment") global = true;
+  }
+  EXPECT_TRUE(global) << d.render();
+}
+
+TEST(ValidatorV10, ResolvableAssumptionIsCovered) {
+  const Composition c = pipeline(DataAccessKind::kImplicitWrite,
+                                 DataAccessKind::kImplicitRead);
+  Contract consumer{.name = "CCons"};
+  consumer.assumptions.push_back(FlowSpec{
+      .flow = "in.val", .timing = {.latency = orte::sim::seconds(1)}});
+  // runtime_verification defaults to on; the feeding connector resolves.
+  const Diagnostics d = Validator(c)
+                            .with_deployment(same_ecu_plan())
+                            .with_contract("k", consumer)
+                            .run();
+  EXPECT_FALSE(has_rule(d, "V10")) << d.render();
+}
+
+// --- V11: resource budgets -------------------------------------------------------
+
+TEST(ValidatorV11, OversubscribedEcuIsAnError) {
+  const Composition c = pipeline(DataAccessKind::kImplicitWrite,
+                                 DataAccessKind::kImplicitRead);
+  Contract cp{.name = "CProd"};
+  cp.vertical.cpu_utilization = 0.6;
+  Contract ck{.name = "CCons"};
+  ck.vertical.cpu_utilization = 0.6;
+  const Diagnostics d = Validator(c)
+                            .with_deployment(same_ecu_plan())
+                            .with_contract("p", cp)
+                            .with_contract("k", ck)
+                            .run();
+  const auto v11 = d.by_rule("V11");
+  ASSERT_FALSE(v11.empty());
+  EXPECT_EQ(v11.front()->severity, Severity::kError);
+  EXPECT_EQ(v11.front()->subject, "E");
+  EXPECT_NE(v11.front()->message.find("oversubscribe"), std::string::npos);
+}
+
+TEST(ValidatorV11, GeneratedLoadAboveDeclaredBudgetWarns) {
+  Composition c;
+  c.add_interface(value_interface("IVal"));
+  Runnable produce = timing_runnable("produce", milliseconds(10));
+  produce.wcet_bound = milliseconds(5);  // measured utilization 0.5
+  produce.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  c.add_type({"Producer", {Port{"out", "IVal", PortDirection::kProvided}},
+              {produce}});
+  c.add_instance({"p", "Producer"});
+  DeploymentPlan plan;
+  plan.instances["p"] = {.ecu = "E"};
+  Contract cp{.name = "CProd"};
+  cp.vertical.cpu_utilization = 0.1;  // declares far less than it generates
+  const Diagnostics d =
+      Validator(c).with_deployment(plan).with_contract("p", cp).run();
+  const auto v11 = d.by_rule("V11");
+  ASSERT_FALSE(v11.empty());
+  EXPECT_EQ(v11.front()->severity, Severity::kWarning);
+  EXPECT_EQ(v11.front()->subject, "p");
+}
+
+TEST(ValidatorV11, BudgetsWithinDeclarationPassClean) {
+  const Composition c = pipeline(DataAccessKind::kImplicitWrite,
+                                 DataAccessKind::kImplicitRead);
+  Contract cp{.name = "CProd"};
+  cp.vertical.cpu_utilization = 0.3;
+  Contract ck{.name = "CCons"};
+  ck.vertical.cpu_utilization = 0.3;
+  const Diagnostics d = Validator(c)
+                            .with_deployment(same_ecu_plan())
+                            .with_contract("p", cp)
+                            .with_contract("k", ck)
+                            .run();
+  EXPECT_FALSE(has_rule(d, "V11")) << d.render();
+}
+
+// --- V12: dead / unreachable flows -----------------------------------------------
+
+TEST(ValidatorV12, RelayWithoutAutonomousSourceIsDeadFlow) {
+  // Relay reads an unconnected input and feeds the consumer: the immediate
+  // link p.out -> k.in is V3-clean, but nothing upstream ever produces a
+  // value, so the consumer only ever sees relayed initial values.
+  Composition c;
+  c.add_interface(value_interface("IVal"));
+  Runnable relay = timing_runnable("relay", milliseconds(5));
+  relay.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  relay.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  Runnable consume = timing_runnable("consume", milliseconds(10));
+  consume.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  c.add_type({"Relay",
+              {Port{"in", "IVal", PortDirection::kRequired},
+               Port{"out", "IVal", PortDirection::kProvided}},
+              {relay}});
+  c.add_type({"Consumer", {Port{"in", "IVal", PortDirection::kRequired}},
+              {consume}});
+  c.add_instance({"r", "Relay"});
+  c.add_instance({"k", "Consumer"});
+  c.add_connector({"r", "out", "k", "in"});
+  // Any bound contract enables the whole-program pass.
+  const Diagnostics d =
+      Validator(c).with_contract("k", Contract{.name = "C0"}).run();
+  const auto v12 = d.by_rule("V12");
+  ASSERT_FALSE(v12.empty());
+  EXPECT_EQ(v12.front()->severity, Severity::kWarning);
+  EXPECT_EQ(v12.front()->subject, "k.in.val");
+  EXPECT_NE(v12.front()->message.find("never change"), std::string::npos);
+}
+
+TEST(ValidatorV12, UnconsumedRelayedWriteIsReportedAsInfo) {
+  // Producer -> relay, but the relay's own output hangs: the producer's
+  // write is delivered and read, yet no terminal consumer exists.
+  Composition c2;
+  c2.add_interface(value_interface("IVal"));
+  Runnable produce = timing_runnable("produce", milliseconds(5));
+  produce.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  Runnable relay = timing_runnable("relay", milliseconds(5));
+  relay.accesses.push_back({"in", "val", DataAccessKind::kImplicitRead});
+  relay.accesses.push_back({"out", "val", DataAccessKind::kImplicitWrite});
+  c2.add_type({"Producer", {Port{"out", "IVal", PortDirection::kProvided}},
+               {produce}});
+  c2.add_type({"Relay",
+               {Port{"in", "IVal", PortDirection::kRequired},
+                Port{"out", "IVal", PortDirection::kProvided}},
+               {relay}});
+  c2.add_instance({"p", "Producer"});
+  c2.add_instance({"r", "Relay"});
+  c2.add_connector({"p", "out", "r", "in"});
+  const Diagnostics d =
+      Validator(c2).with_contract("r", Contract{.name = "C0"}).run();
+  const auto v12 = d.by_rule("V12");
+  ASSERT_FALSE(v12.empty());
+  EXPECT_EQ(v12.front()->severity, Severity::kInfo);
+  EXPECT_EQ(v12.front()->subject, "p.out.val");
+}
+
+TEST(ValidatorV12, AutonomousSourceMakesChainLive) {
+  const Diagnostics d = Validator(relay_chain())
+                            .with_contract("k", Contract{.name = "C0"})
+                            .run();
+  EXPECT_FALSE(has_rule(d, "V12")) << d.render();
+}
+
+// --- SARIF export ----------------------------------------------------------------
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Sarif, OneResultPerDiagnosticWithMappedLevels) {
+  Diagnostics d;
+  d.add("V1", Severity::kError, "e.f", "dangling");
+  d.add("V4", Severity::kWarning, "c.d", "race", "buffer it");
+  d.add("V3", Severity::kInfo, "a.b", "dead element");
+  const std::string sarif = orte::validation::to_sarif(d);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"orte-validator\""), std::string::npos);
+  EXPECT_EQ(count_of(sarif, "\"ruleId\""), 3u);
+  EXPECT_EQ(count_of(sarif, "\"level\": \"error\""), 1u);
+  EXPECT_EQ(count_of(sarif, "\"level\": \"warning\""), 1u);
+  EXPECT_EQ(count_of(sarif, "\"level\": \"note\""), 1u);
+  // Subjects surface as logical locations; hints ride in properties.
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\": \"c.d\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"hint\": \"buffer it\""), std::string::npos);
+  // One reportingDescriptor per distinct rule.
+  EXPECT_EQ(count_of(sarif, "\"shortDescription\""), 3u);
+}
+
+TEST(Sarif, EscapesQuotesAndControlCharacters) {
+  Diagnostics d;
+  d.add("V2", Severity::kError, "x", "mismatch \"quoted\" and\nnewline");
+  const std::string sarif = orte::validation::to_sarif(d);
+  EXPECT_NE(sarif.find("mismatch \\\"quoted\\\" and\\nnewline"),
+            std::string::npos);
+}
+
+TEST(Sarif, EmptyReportIsStillAValidDocument) {
+  const std::string sarif = orte::validation::to_sarif(Diagnostics{});
+  EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(count_of(sarif, "\"ruleId\""), 0u);
 }
 
 }  // namespace
