@@ -125,11 +125,36 @@ void CanBus::finish_tx() {
     controllers_[static_cast<std::size_t>(in_flight_source_)]->push_sorted(
         std::move(in_flight_));
   } else {
-    in_flight_.delivered_at = kernel_.now();
-    trace_.emit(kernel_.now(), "can.rx", in_flight_.name, in_flight_.id);
     idle_at_ = kernel_.now();  // IFS is folded into the frame time
-    for (const auto& c : controllers_) {
-      if (c->node_ != in_flight_source_) c->deliver(in_flight_);
+    Frame frame = std::move(in_flight_);
+    const int source = in_flight_source_;
+    net::FaultVerdict verdict;
+    if (fault_hook_) verdict = fault_hook_(frame);
+    if (verdict.drop) {
+      // The frame made it over the wire but is injected away before any
+      // listener sees it (receiver-side CRC reject without the error-frame
+      // broadcast — the "silent loss" half of the fault space).
+      stats_.record_drop();
+      trace_.emit(kernel_.now(), "can.fault_drop", frame.name, frame.id);
+    } else if (verdict.delay > 0) {
+      trace_.emit(kernel_.now(), "can.fault_delay", frame.name,
+                  verdict.delay);
+      kernel_.schedule_in(
+          verdict.delay,
+          [this, frame = std::move(frame), source]() mutable {
+            frame.delivered_at = kernel_.now();
+            trace_.emit(kernel_.now(), "can.rx", frame.name, frame.id);
+            for (const auto& c : controllers_) {
+              if (c->node_ != source) c->deliver(frame);
+            }
+          },
+          sim::EventOrder::kHardware);
+    } else {
+      frame.delivered_at = kernel_.now();
+      trace_.emit(kernel_.now(), "can.rx", frame.name, frame.id);
+      for (const auto& c : controllers_) {
+        if (c->node_ != source) c->deliver(frame);
+      }
     }
   }
   try_arbitrate();

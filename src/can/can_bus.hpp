@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/bus_stats.hpp"
+#include "net/fault_hook.hpp"
 #include "net/frame.hpp"
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
@@ -77,6 +78,12 @@ class CanBus {
   /// Transmission time of a frame with `bytes` payload, worst-case stuffing.
   [[nodiscard]] Duration frame_time(std::size_t bytes) const;
 
+  /// Install the fault-injection hook, consulted once per successfully
+  /// transmitted frame at the delivery point (after the built-in error/
+  /// retransmission model). Drop, delay and in-place corruption are all
+  /// honored. Replaces any previous hook; pass {} to clear.
+  void set_fault_hook(net::FaultHook hook) { fault_hook_ = std::move(hook); }
+
   [[nodiscard]] const net::BusStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return cfg_.name; }
   [[nodiscard]] std::uint64_t retransmissions() const {
@@ -98,6 +105,7 @@ class CanBus {
   std::vector<std::unique_ptr<CanController>> controllers_;
   net::BusStats stats_;
   sim::Rng rng_;
+  net::FaultHook fault_hook_;
 
   bool busy_ = false;
   Time idle_at_ = 0;  ///< Earliest next arbitration (interframe space).

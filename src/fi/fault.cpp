@@ -1,0 +1,54 @@
+#include "fi/fault.hpp"
+
+namespace orte::fi {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFrameDrop:
+      return "frame_drop";
+    case FaultKind::kFrameCorrupt:
+      return "frame_corrupt";
+    case FaultKind::kFrameDelay:
+      return "frame_delay";
+    case FaultKind::kBabblingIdiot:
+      return "babbling_idiot";
+    case FaultKind::kValueCorrupt:
+      return "value_corrupt";
+    case FaultKind::kStuckAt:
+      return "stuck_at";
+    case FaultKind::kTaskCrash:
+      return "task_crash";
+    case FaultKind::kWcetOverrun:
+      return "wcet_overrun";
+    case FaultKind::kExecutionJitter:
+      return "execution_jitter";
+    case FaultKind::kClockDrift:
+      return "clock_drift";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kBus:
+      return "bus";
+    case FaultClass::kRteValue:
+      return "rte_value";
+    case FaultClass::kTiming:
+      return "timing";
+    case FaultClass::kClock:
+      return "clock";
+  }
+  return "unknown";
+}
+
+std::string Fault::label() const {
+  std::string out{to_string(kind)};
+  if (!target.empty()) {
+    out.push_back(':');
+    out += target;
+  }
+  return out;
+}
+
+}  // namespace orte::fi

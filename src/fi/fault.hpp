@@ -1,0 +1,102 @@
+// Declarative fault catalog for the injection campaigns (experiment E9b).
+//
+// A fi::Fault names WHAT breaks (kind), WHERE (target, semantics per kind),
+// WHEN (onset window [from, until)) and HOW HARD (probability / magnitude /
+// value / delay). Faults are plain data: the injector compiles them onto a
+// built vfb::System through the hook points each layer exposes (net fault
+// hooks, the RTE write interceptor, os::Task::transform_durations), and the
+// campaign runner replays the same Fault under per-scenario RNG streams —
+// the declarative form is what makes a grid of scenarios enumerable and a
+// coverage matrix (fault class x detector) meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace orte::fi {
+
+/// The injectable fault kinds, grouped into the four classes the coverage
+/// matrix scores. Target semantics per kind:
+///  * frame faults (drop/corrupt/delay): substring of the frame name,
+///    "" = every frame on the bus,
+///  * babbling idiot: the bus itself (target unused); a rogue node is
+///    attached that floods high-priority frames,
+///  * value faults (corrupt/stuck-at): an RTE sender key
+///    ("instance.port.element") or an instance-name prefix,
+///  * task faults (crash/overrun/jitter): a component instance name,
+///  * clock drift: an ECU name (all frames sourced by its bus node drift).
+enum class FaultKind {
+  // -- bus plane (class kBus) --
+  kFrameDrop,      ///< Lose matching frames at the delivery point.
+  kFrameCorrupt,   ///< XOR every payload byte with `value`'s low byte.
+  kFrameDelay,     ///< Add `delay` ns (CAN only; TDMA buses pin timing).
+  kBabblingIdiot,  ///< Rogue node floods top-priority frames every `delay`.
+  // -- RTE value plane (class kRteValue) --
+  kValueCorrupt,  ///< XOR the written value with `value` (default all-ones).
+  kStuckAt,       ///< Every matching write publishes `value` instead.
+  // -- task timing plane (class kTiming) --
+  kTaskCrash,        ///< Fail-silent from `from` on: zero execution time and
+                     ///< swallowed port writes (until is ignored: crashes
+                     ///< are permanent, like isolation::crashing_wcet).
+  kWcetOverrun,      ///< Execution time x `magnitude` inside the window.
+  kExecutionJitter,  ///< Execution time scaled by U[1-magnitude, 1] inside
+                     ///< the window (magnitude in [0, 1]).
+  // -- clock plane (class kClock) --
+  kClockDrift,  ///< The ECU's clock drifts `magnitude` ppm from `from` on:
+                ///< its CAN frames arrive late by the accumulated offset;
+                ///< on TDMA buses its frames are lost once the offset
+                ///< exceeds half a static slot (desynchronization).
+};
+
+/// Row axis of the coverage matrix.
+enum class FaultClass { kBus, kRteValue, kTiming, kClock };
+
+struct Fault {
+  FaultKind kind = FaultKind::kFrameDrop;
+  std::string target;
+  /// Onset window [from, until). A `from` of 0 means "at the campaign's
+  /// configured onset" when the fault runs under a fi::Campaign.
+  sim::Time from = 0;
+  sim::Time until = sim::kForever;
+  /// Per-opportunity firing probability (frame faults, value faults).
+  double probability = 1.0;
+  /// Kind-specific intensity: overrun factor, jitter fraction, drift ppm.
+  double magnitude = 2.0;
+  /// Kind-specific value: stuck-at value, corruption XOR mask (0 = all-ones
+  /// for value corruption, low byte 0xFF for frame corruption), babble
+  /// frame id (0 = top priority).
+  std::uint64_t value = 0;
+  /// kFrameDelay: added latency; kBabblingIdiot: flood period (0 = 100 us).
+  sim::Duration delay = 0;
+
+  /// Human-readable scenario label ("wcet_overrun:pedal").
+  [[nodiscard]] std::string label() const;
+};
+
+[[nodiscard]] constexpr FaultClass fault_class(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFrameDrop:
+    case FaultKind::kFrameCorrupt:
+    case FaultKind::kFrameDelay:
+    case FaultKind::kBabblingIdiot:
+      return FaultClass::kBus;
+    case FaultKind::kValueCorrupt:
+    case FaultKind::kStuckAt:
+      return FaultClass::kRteValue;
+    case FaultKind::kTaskCrash:
+    case FaultKind::kWcetOverrun:
+    case FaultKind::kExecutionJitter:
+      return FaultClass::kTiming;
+    case FaultKind::kClockDrift:
+      return FaultClass::kClock;
+  }
+  return FaultClass::kBus;  // unreachable
+}
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+[[nodiscard]] std::string_view to_string(FaultClass cls);
+
+}  // namespace orte::fi

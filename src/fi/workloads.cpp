@@ -1,0 +1,114 @@
+#include "fi/workloads.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contracts/contract.hpp"
+#include "sim/time.hpp"
+#include "vfb/model.hpp"
+#include "vfb/rte.hpp"
+
+namespace orte::fi::workloads {
+
+ModelBundle brake_by_wire() {
+  ModelBundle bundle;
+  vfb::Composition& model = bundle.model;
+
+  vfb::PortInterface ibrake;
+  ibrake.name = "IBrake";
+  ibrake.elements.push_back(vfb::DataElement{"pos", 16, 0, false});
+  model.add_interface(ibrake);
+
+  // Pedal sensor: samples a deterministic in-range pedal trajectory every
+  // 5 ms. The counter is created per bundle, so concurrent scenarios never
+  // share state.
+  vfb::Runnable sample;
+  sample.name = "sample";
+  sample.trigger = vfb::RunnableTrigger::timing(sim::milliseconds(5));
+  sample.execution_time = [] { return sim::microseconds(100); };
+  sample.accesses.push_back(
+      {"out", "pos", vfb::DataAccessKind::kExplicitWrite});
+  sample.behavior = [n = std::make_shared<std::uint64_t>(0)](
+                        vfb::RunnableContext& ctx) {
+    ctx.write("out", "pos", (*n)++ * 37 % 1001);
+  };
+  model.add_type({"PedalSensor",
+                  {vfb::Port{"out", "IBrake", vfb::PortDirection::kProvided}},
+                  {sample}});
+
+  vfb::Runnable control;
+  control.name = "control";
+  control.trigger = vfb::RunnableTrigger::data_received("in", "pos");
+  control.execution_time = [] { return sim::microseconds(200); };
+  control.accesses.push_back(
+      {"in", "pos", vfb::DataAccessKind::kExplicitRead});
+  control.behavior = [](vfb::RunnableContext& ctx) {
+    (void)ctx.read("in", "pos");
+  };
+  model.add_type({"WheelActuator",
+                  {vfb::Port{"in", "IBrake", vfb::PortDirection::kRequired}},
+                  {control}});
+
+  model.add_instance({"pedal", "PedalSensor"});
+  const std::vector<std::string> wheels = {"wheel_fl", "wheel_fr", "wheel_rl",
+                                           "wheel_rr"};
+  for (const auto& w : wheels) {
+    model.add_instance({w, "WheelActuator"});
+    model.add_connector({"pedal", "out", w, "in"});
+  }
+
+  // Contracts on all four monitor planes (see header).
+  contracts::Contract pedal_contract;
+  pedal_contract.name = "C_Pedal";
+  pedal_contract.guarantees.push_back(
+      {.flow = "out.pos",
+       .range = {0, 1000},
+       .timing = {.period = sim::milliseconds(5),
+                  .latency = sim::milliseconds(2)}});
+  model.bind_contract("pedal", pedal_contract);
+
+  for (const auto& w : wheels) {
+    contracts::Contract wheel_contract;
+    wheel_contract.name = "C_" + w;
+    wheel_contract.assumptions.push_back(
+        {.flow = "in.pos",
+         .range = {0, 1000},
+         .timing = {.latency = sim::milliseconds(2)}});
+    model.bind_contract(w, wheel_contract);
+  }
+
+  vfb::DeploymentPlan& plan = bundle.plan;
+  plan.bus = vfb::BusKind::kFlexRay;
+  plan.instances["pedal"] = {.ecu = "pedal_ecu"};
+  plan.instances["wheel_fl"] = {.ecu = "fl_ecu"};
+  plan.instances["wheel_fr"] = {.ecu = "fr_ecu"};
+  plan.instances["wheel_rl"] = {.ecu = "rl_ecu"};
+  plan.instances["wheel_rr"] = {.ecu = "rr_ecu"};
+  plan.recovery_mode = "RUN";
+  return bundle;
+}
+
+void add_standard_faults(Campaign& campaign) {
+  campaign.add_fault({.kind = FaultKind::kFrameDrop, .probability = 0.4});
+  campaign.add_fault(
+      {.kind = FaultKind::kFrameCorrupt, .probability = 0.6, .value = 0x40});
+  campaign.add_fault({.kind = FaultKind::kBabblingIdiot});
+  campaign.add_fault(
+      {.kind = FaultKind::kStuckAt, .target = "pedal.out.pos", .value = 4000});
+  campaign.add_fault({.kind = FaultKind::kValueCorrupt,
+                      .target = "pedal.out.pos",
+                      .probability = 0.5,
+                      .value = 0xF000});
+  campaign.add_fault(
+      {.kind = FaultKind::kWcetOverrun, .target = "pedal", .magnitude = 80.0});
+  campaign.add_fault({.kind = FaultKind::kExecutionJitter,
+                      .target = "pedal",
+                      .magnitude = 0.9});
+  campaign.add_fault({.kind = FaultKind::kClockDrift,
+                      .target = "pedal_ecu",
+                      .magnitude = 50000.0});
+}
+
+}  // namespace orte::fi::workloads

@@ -1,0 +1,27 @@
+// Canonical campaign workloads, shared by the fi tests, the E9b bench and
+// CI's smoke campaign so every consumer scores the same system.
+#pragma once
+
+#include "fi/campaign.hpp"
+
+namespace orte::fi::workloads {
+
+/// Distributed brake-by-wire over FlexRay: one pedal-sensor ECU feeding four
+/// wheel-actuator ECUs through a static TDMA slot. Contracts cover all four
+/// monitor planes the campaign scores: the pedal guarantees a 5 ms update
+/// period AND a [0, 1000] value range; each wheel assumes a 2 ms end-to-end
+/// age AND the same range on arrival — so bus corruption (receiver-side
+/// range), value faults (sender-side range), timing faults (arrival /
+/// deadline) and clock drift (latency starvation) are all observable.
+/// Thread-safe: every call builds a fully fresh bundle.
+[[nodiscard]] ModelBundle brake_by_wire();
+
+/// The canonical brake_by_wire fault grid: one representative per fault
+/// kind that the workload can express (8 faults — kFrameDelay is omitted
+/// because FlexRay pins frame timing), with sub-1.0 probabilities on the
+/// stochastic ones so replicates genuinely exercise per-scenario RNG
+/// streams. Shared by test_fi, bench_e9_fi_coverage and the CI smoke
+/// campaign so all three score the same fault space.
+void add_standard_faults(Campaign& campaign);
+
+}  // namespace orte::fi::workloads

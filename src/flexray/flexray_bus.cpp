@@ -186,6 +186,15 @@ void FlexRayBus::deliver(Frame frame) {
     trace_.emit(kernel_.now(), "fr.blackout_drop", frame.name, frame.id);
     return;
   }
+  if (fault_hook_) {
+    const net::FaultVerdict verdict = fault_hook_(frame);
+    if (verdict.drop) {
+      stats_.record_drop();
+      trace_.emit(kernel_.now(), "fr.fault_drop", frame.name, frame.id);
+      return;
+    }
+    // verdict.delay intentionally ignored: the slot schedule owns timing.
+  }
   frame.delivered_at = kernel_.now();
   trace_.emit(kernel_.now(), "fr.rx", frame.name, frame.id);
   for (const auto& c : controllers_) {

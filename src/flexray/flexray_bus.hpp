@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/bus_stats.hpp"
+#include "net/fault_hook.hpp"
 #include "net/frame.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
@@ -84,6 +85,12 @@ class FlexRayBus {
     blackout_until_ = until;
   }
 
+  /// Install the fault-injection hook, consulted once per frame at the
+  /// delivery point. Drop and in-place corruption are honored; delay is
+  /// ignored — the TDMA slot structure pins delivery instants, which is the
+  /// containment property the fault campaigns measure. Pass {} to clear.
+  void set_fault_hook(net::FaultHook hook) { fault_hook_ = std::move(hook); }
+
   [[nodiscard]] Duration static_slot_len() const { return static_slot_len_; }
   [[nodiscard]] Duration cycle_len() const { return cycle_len_; }
   [[nodiscard]] std::uint64_t cycles() const { return cycle_count_; }
@@ -121,6 +128,7 @@ class FlexRayBus {
   std::deque<Frame> dynamic_queue_;
 
   net::BusStats stats_;
+  net::FaultHook fault_hook_;
   std::uint64_t cycle_count_ = 0;
   std::uint64_t dynamic_deferrals_ = 0;
   Time blackout_from_ = sim::kForever;

@@ -1,0 +1,33 @@
+// Shared network fault-injection hook (fi layer entry point into the bus
+// substrates).
+//
+// Every bus simulator offers one optional FaultHook called at its delivery
+// point, once per frame that survived the protocol's own error model. The
+// hook decides the frame's fate (drop it, delay its delivery where the
+// protocol's timing allows, or pass it on) and may mutate the frame in
+// place — payload corruption is "hook rewrites frame.payload". Keeping the
+// hook at the net level means one fault catalog drives CAN, FlexRay and TTP
+// alike without forking any bus model.
+#pragma once
+
+#include <functional>
+
+#include "net/frame.hpp"
+#include "sim/time.hpp"
+
+namespace orte::net {
+
+/// Verdict of a fault hook over one frame about to be delivered.
+struct FaultVerdict {
+  bool drop = false;
+  /// Extra delivery latency. Honored by event-triggered buses (CAN); TDMA
+  /// buses (FlexRay/TTP) ignore it — their slot structure pins delivery
+  /// instants, which is exactly the containment property under test.
+  sim::Duration delay = 0;
+};
+
+/// Installed via <Bus>::set_fault_hook(); called once per delivered frame.
+/// The hook may mutate the frame (corruption) before returning its verdict.
+using FaultHook = std::function<FaultVerdict(Frame&)>;
+
+}  // namespace orte::net

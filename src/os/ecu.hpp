@@ -126,6 +126,20 @@ class Task {
     completion_cb_ = std::move(cb);
   }
 
+  /// Wrap every segment's execution time: on each job, `fn` receives the
+  /// nominal duration the segment would have consumed and returns the one it
+  /// actually consumes. This is the task-plane fault-injection seam (WCET
+  /// overrun, execution jitter, crash-to-zero) — wraps compose, generated
+  /// task bodies stay untouched. Call before the first activation.
+  void transform_durations(std::function<Duration(Duration)> fn) {
+    for (auto& seg : segments_) {
+      if (!seg.duration) continue;
+      seg.duration = [base = std::move(seg.duration), fn] {
+        return fn(base());
+      };
+    }
+  }
+
   // --- Observability -------------------------------------------------------
   const sim::Stats& response_times() const { return response_times_; }
   std::uint64_t jobs_completed() const { return jobs_completed_; }

@@ -188,6 +188,47 @@ void LatencyMonitor::observe(const sim::TraceRecord& rec) {
   }
 }
 
+// --- RangeMonitor -------------------------------------------------------------
+
+RangeMonitor::RangeMonitor(RangeSpec spec)
+    : Monitor(spec.contract, spec.confidence), spec_(std::move(spec)) {
+  if (spec_.report_subject.empty()) spec_.report_subject = spec_.subject;
+}
+
+std::vector<Monitor::Subscription> RangeMonitor::subscriptions() const {
+  return {{spec_.category, spec_.subject}};
+}
+
+void RangeMonitor::prepare(sim::Trace& trace) {
+  subject_id_ = trace.intern_subject(spec_.subject);
+}
+
+void RangeMonitor::resync() { streak_ = 0; }
+
+void RangeMonitor::observe(const sim::TraceRecord& rec) {
+  if (rec.subject_id != subject_id_) return;
+  ++checked_;
+  note_observation();
+  if (spec_.range.contains(rec.value)) {
+    streak_ = 0;
+    return;
+  }
+  Violation v;
+  v.contract = contract_;
+  v.subject = spec_.report_subject;
+  v.kind = "range";
+  v.observed = rec.value;
+  // A violation carries one scalar bound; report the breached side.
+  v.bound = rec.value < spec_.range.lo ? spec_.range.lo : spec_.range.hi;
+  v.when = rec.when;
+  v.streak = ++streak_;
+  v.confidence = spec_.confidence;
+  v.detail = "value " + std::to_string(rec.value) + " outside [" +
+             std::to_string(spec_.range.lo) + ", " +
+             std::to_string(spec_.range.hi) + "] at " + spec_.subject;
+  raise(std::move(v));
+}
+
 // --- AutomatonMonitor ---------------------------------------------------------
 
 AutomatonMonitor::AutomatonMonitor(AutomatonSpec spec)

@@ -208,6 +208,44 @@ class LatencyMonitor final : public Monitor {
   std::uint64_t streak_ = 0;
 };
 
+// --- Value range --------------------------------------------------------------
+
+/// Checks every observed value of one flow against the contracted interval.
+/// Guarantee-side instances watch the producer's "rte.write" records (the
+/// value as the component emitted it); assumption-side instances watch the
+/// consumer's "rte.deliver" records (the value as it arrived, after bus
+/// transport) — the split makes in-transit corruption attributable: a clean
+/// write followed by an out-of-range delivery indicts the channel, not the
+/// producer.
+struct RangeSpec {
+  std::string contract;
+  std::string subject;  ///< Trace subject to match (sender or receiver key).
+  std::string category = "rte.write";
+  /// Subject to blame in the violation; defaults to `subject`. Receiver-side
+  /// monitors set this to the PRODUCER sender key so quarantine and DEM
+  /// bookkeeping land on the component whose flow went bad, not on the
+  /// victim that received the damaged value.
+  std::string report_subject;
+  contracts::Interval range{INT64_MIN, INT64_MAX};
+  double confidence = 1.0;
+};
+
+class RangeMonitor final : public Monitor {
+ public:
+  explicit RangeMonitor(RangeSpec spec);
+  [[nodiscard]] std::vector<Subscription> subscriptions() const override;
+  void prepare(sim::Trace& trace) override;
+  void observe(const sim::TraceRecord& rec) override;
+  void resync() override;
+  [[nodiscard]] std::uint64_t checked() const { return checked_; }
+
+ private:
+  RangeSpec spec_;
+  sim::TraceId subject_id_ = sim::kNoTraceId;
+  std::uint64_t checked_ = 0;
+  std::uint64_t streak_ = 0;
+};
+
 // --- Behavioural timed automaton ---------------------------------------------
 
 /// Steps a contracts::TimedAutomaton against the live trace: label rules map

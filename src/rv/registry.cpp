@@ -109,6 +109,13 @@ LatencyMonitor& MonitorRegistry::add_latency(LatencySpec spec) {
   return ref;
 }
 
+RangeMonitor& MonitorRegistry::add_range(RangeSpec spec) {
+  auto m = std::make_unique<RangeMonitor>(std::move(spec));
+  RangeMonitor& ref = *m;
+  add(std::move(m));
+  return ref;
+}
+
 AutomatonMonitor& MonitorRegistry::add_automaton(AutomatonSpec spec) {
   auto m = std::make_unique<AutomatonMonitor>(std::move(spec));
   AutomatonMonitor& ref = *m;

@@ -68,6 +68,7 @@ class MonitorRegistry {
   ArrivalMonitor& add_arrival(ArrivalSpec spec);
   DeadlineMonitor& add_deadline(DeadlineSpec spec);
   LatencyMonitor& add_latency(LatencySpec spec);
+  RangeMonitor& add_range(RangeSpec spec);
   AutomatonMonitor& add_automaton(AutomatonSpec spec);
   void add(std::unique_ptr<Monitor> monitor);
 

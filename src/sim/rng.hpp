@@ -65,6 +65,25 @@ class Rng {
     return static_cast<std::size_t>(next_u64() % n);
   }
 
+  /// Derive an independent child stream for `stream_id` WITHOUT advancing
+  /// this generator: the child seed is a SplitMix64 finalization of the
+  /// parent's current state mixed with the stream id (golden-ratio spread),
+  /// so distinct stream ids yield decorrelated, collision-free streams.
+  ///
+  /// Determinism guarantee: fork() is a pure function of (parent state,
+  /// stream_id). Two parents with identical state produce bit-identical
+  /// children for the same id, regardless of when, in what order, or from
+  /// which thread the forks happen — the property the fi campaign runner
+  /// relies on to stay reproducible across worker-thread counts.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t z = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                      rotl(state_[3], 43);
+    z += (stream_id + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
   /// UUniFast: n utilization shares summing to `total` — the standard way to
   /// draw unbiased random task sets for schedulability experiments.
   std::vector<double> uunifast(std::size_t n, double total) {

@@ -891,18 +891,28 @@ void check_monitor_coverage(const vfb::Composition& model,
         }
       }
       if (!unconstrained(g.range)) {
-        out.add("V10", Severity::kInfo, dot(instance, g.flow),
-                "value-range guarantee of contract " + contract.name +
-                    " has no runtime monitor type; it is checked statically "
-                    "only (V7/V8)");
+        ++obligations;
+        if (resolve_flow(model, instance, g.flow).empty()) {
+          out.add("V10", Severity::kWarning, dot(instance, g.flow),
+                  "value-range guarantee of contract " + contract.name +
+                      " resolves to no traced flow: no range monitor will "
+                      "watch it",
+                  "name an existing \"port\" or \"port.element\" flow, or "
+                  "connect the port");
+        }
       }
     }
     for (const auto& a : contract.assumptions) {
-      if (a.timing.latency <= 0) continue;
-      ++obligations;
+      const bool latency_bound = a.timing.latency > 0;
+      const bool value_bound = !unconstrained(a.range);
+      if (!latency_bound && !value_bound) continue;
+      if (latency_bound) ++obligations;
+      if (value_bound) ++obligations;
       if (resolve_flow(model, instance, a.flow).empty()) {
         out.add("V10", Severity::kWarning, dot(instance, a.flow),
-                "latency assumption of contract " + contract.name +
+                (latency_bound ? std::string("latency")
+                               : std::string("value-range")) +
+                    " assumption of contract " + contract.name +
                     " resolves to no traced flow: no monitor will watch it",
                 "the flow must resolve through a feeding connector to a "
                 "producer");

@@ -111,6 +111,12 @@ void Rte::deliver(const std::string& receiver_key, std::uint64_t value) {
     slot.value = value;
   }
   slot.last_update = kernel_.now();
+  // Receiver-side observation point: the value as it ARRIVED, after any bus
+  // transport (and any injected corruption en route). Sender-side monitors
+  // watch "rte.write"; assumption-side range monitors watch this record, so
+  // in-transit damage is observable even when the producer wrote in-spec.
+  trace_.emit(kernel_.now(), "rte.deliver", receiver_key,
+              static_cast<std::int64_t>(value), slot.element);
   auto hooks = update_hooks_.find(receiver_key);
   if (hooks != update_hooks_.end()) {
     for (const auto& cb : hooks->second) cb();
@@ -254,6 +260,12 @@ bool Rte::is_quarantined(std::string_view instance) const {
 }
 
 void Rte::publish(const std::string& sender_key, std::uint64_t value) {
+  if (write_interceptor_ && !write_interceptor_(sender_key, value)) {
+    ++intercepted_drops_;
+    trace_.emit(kernel_.now(), "rte.fault_drop", sender_key,
+                static_cast<std::int64_t>(value));
+    return;
+  }
   if (!quarantined_.empty()) {
     const std::string_view instance =
         std::string_view(sender_key).substr(0, sender_key.find('.'));

@@ -96,6 +96,22 @@ class Rte {
   /// Execute the behavior and publish implicit writes (segment end).
   void run_behavior(const std::string& instance, const Runnable& runnable);
 
+  // --- Fault injection (fi layer) --------------------------------------------
+  /// Interceptor over every outbound port write, consulted at the publish
+  /// choke point BEFORE quarantine filtering and routing. It may rewrite the
+  /// value in place (corruption, stuck-at) or return false to swallow the
+  /// write entirely (fail-silent crash) — swallowed writes are counted and
+  /// traced as "rte.fault_drop". One interceptor per RTE; pass {} to clear.
+  using WriteInterceptor =
+      std::function<bool(std::string_view sender_key, std::uint64_t& value)>;
+  void intercept_writes(WriteInterceptor hook) {
+    write_interceptor_ = std::move(hook);
+  }
+  /// Writes swallowed by the interceptor since construction.
+  [[nodiscard]] std::uint64_t intercepted_drops() const {
+    return intercepted_drops_;
+  }
+
   // --- Health management (graceful degradation, §1/§4) -----------------------
   /// Quarantine an instance: its port writes are dropped at the RTE instead
   /// of propagating (local routes and COM transmissions alike), so receivers
@@ -168,6 +184,8 @@ class Rte {
   std::map<std::string, std::map<std::string, std::uint64_t>> implicit_out_;
 
   std::set<std::string, std::less<>> quarantined_;
+  WriteInterceptor write_interceptor_;
+  std::uint64_t intercepted_drops_ = 0;
 
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;

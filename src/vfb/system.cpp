@@ -377,8 +377,8 @@ void System::build() {
   // already interned everything the rv layer routes on; this covers the
   // emit side, keeping the measured run free of first-sight intern misses.
   for (const char* category :
-       {"rte.write", "rte.runnable", "task.release", "task.start",
-        "task.complete", "task.deadline_miss"}) {
+       {"rte.write", "rte.deliver", "rte.runnable", "task.release",
+        "task.start", "task.complete", "task.deadline_miss"}) {
     trace_.intern_category(category);
   }
   for (const auto& t : analyzed_tasks_) trace_.intern_subject(t.name);
@@ -428,6 +428,55 @@ std::vector<std::string> System::resolve_flow(const std::string& instance,
   return subjects;
 }
 
+int System::node_of(const std::string& ecu_name) const {
+  for (std::size_t i = 0; i < ecu_names_.size(); ++i) {
+    if (ecu_names_[i] == ecu_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<System::FlowEndpoint> System::resolve_flow_endpoints(
+    const std::string& instance, const std::string& flow) const {
+  const auto dot = flow.find('.');
+  const std::string port =
+      dot == std::string::npos ? flow : flow.substr(0, dot);
+  const std::string element =
+      dot == std::string::npos ? std::string() : flow.substr(dot + 1);
+
+  const ComponentInstance* inst = model_.find_instance(instance);
+  if (inst == nullptr) return {};
+  const ComponentType* type = model_.find_type(inst->type);
+  if (type == nullptr) return {};
+  const Port* p = nullptr;
+  for (const auto& candidate : type->ports) {
+    if (candidate.name == port) p = &candidate;
+  }
+  if (p == nullptr || p->direction != PortDirection::kRequired) return {};
+  const PortInterface* iface = model_.find_interface(p->interface);
+  if (iface == nullptr || iface->kind != PortInterface::Kind::kSenderReceiver) {
+    return {};
+  }
+  const Connector* conn = model_.connection_to(instance, port);
+  if (conn == nullptr) return {};
+
+  std::vector<FlowEndpoint> endpoints;
+  for (const auto& elem : iface->elements) {
+    if (!element.empty() && elem.name != element) continue;
+    endpoints.push_back(
+        FlowEndpoint{Rte::key(conn->from_instance, conn->from_port, elem.name),
+                     Rte::key(instance, port, elem.name)});
+  }
+  return endpoints;
+}
+
+namespace {
+/// A flow range of [INT64_MIN, INT64_MAX] is the FlowSpec default: no value
+/// constraint was declared, so no monitor is synthesized for it.
+bool range_constrained(const contracts::Interval& range) {
+  return range.lo != INT64_MIN || range.hi != INT64_MAX;
+}
+}  // namespace
+
 void System::build_monitors() {
   registry_ = std::make_unique<rv::MonitorRegistry>(trace_);
 
@@ -471,6 +520,41 @@ void System::build_monitors() {
         spec.jitter = g.timing.jitter;
         spec.confidence = g.confidence;
         registry_->add_arrival(std::move(spec));
+      }
+    }
+
+    // (2b) Range monitors, guarantee side: every guarantee with a declared
+    // value range watches the producer's own writes — the value as the
+    // component emitted it, before any transport.
+    for (const auto& g : contract.guarantees) {
+      if (!range_constrained(g.range)) continue;
+      for (const auto& subject : resolve_flow(instance, g.flow)) {
+        rv::RangeSpec spec;
+        spec.contract = contract.name;
+        spec.subject = subject;
+        spec.category = "rte.write";
+        spec.range = g.range;
+        spec.confidence = g.confidence;
+        registry_->add_range(std::move(spec));
+      }
+    }
+
+    // (2c) Range monitors, assumption side: every assumption with a declared
+    // value range watches this instance's receiver slots ("rte.deliver" — the
+    // value as it ARRIVED). Violations blame the feeding producer's key, so
+    // escalation sanctions the component whose flow went bad (or whose
+    // channel corrupted it), never the victim consuming the value.
+    for (const auto& a : contract.assumptions) {
+      if (!range_constrained(a.range)) continue;
+      for (const auto& ep : resolve_flow_endpoints(instance, a.flow)) {
+        rv::RangeSpec spec;
+        spec.contract = contract.name;
+        spec.subject = ep.receiver_key;
+        spec.category = "rte.deliver";
+        spec.report_subject = ep.producer_key;
+        spec.range = a.range;
+        spec.confidence = a.confidence;
+        registry_->add_range(std::move(spec));
       }
     }
 

@@ -79,6 +79,11 @@ class System {
   [[nodiscard]] const std::vector<std::string>& ecu_names() const {
     return ecu_names_;
   }
+  /// Bus node index of an ECU's controller (== its index in ecu_names();
+  /// controllers attach in that order), or -1 for an unknown name. Lets
+  /// frame-level instrumentation (fault injection, per-node accounting)
+  /// address "frames sent by ECU X" via net::Frame::source.
+  [[nodiscard]] int node_of(const std::string& ecu_name) const;
   [[nodiscard]] std::size_t signal_count() const { return signal_count_; }
 
   // --- Runtime verification (rv layer) ---------------------------------------
@@ -111,6 +116,16 @@ class System {
   /// resolves to; empty when the flow names nothing routable.
   std::vector<std::string> resolve_flow(const std::string& instance,
                                         const std::string& flow) const;
+  /// Producer/receiver key pairs a required-port contract flow of `instance`
+  /// resolves to: the producer's sender key ("rte.write" subject, also the
+  /// blame target) and this instance's slot key ("rte.deliver" subject).
+  /// Empty for provided-port or unroutable flows.
+  struct FlowEndpoint {
+    std::string producer_key;
+    std::string receiver_key;
+  };
+  std::vector<FlowEndpoint> resolve_flow_endpoints(
+      const std::string& instance, const std::string& flow) const;
   EcuCtx& ctx(const std::string& ecu_name);
   const InstanceDeployment& deployment(const std::string& instance) const;
   /// Summed WCET of the synchronous server operations `runnable` declares.

@@ -1,0 +1,292 @@
+// Fault-injection campaign engine (src/fi): scoring rules, blame
+// attribution, the isolation-helper unification, and the brake_by_wire
+// campaign's headline properties — thread-count-invariant determinism and
+// non-zero detected/contained coverage for all four fault classes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bsw/dem.hpp"
+#include "bsw/mode.hpp"
+#include "fi/campaign.hpp"
+#include "fi/fault.hpp"
+#include "fi/injector.hpp"
+#include "fi/workloads.hpp"
+#include "isolation/fault_injection.hpp"
+#include "rv/health.hpp"
+#include "rv/registry.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "vfb/system.hpp"
+
+namespace {
+
+using namespace orte;
+using fi::Detection;
+using fi::Domain;
+using fi::Evidence;
+using fi::Fault;
+using fi::FaultClass;
+using fi::FaultKind;
+using fi::Outcome;
+using sim::milliseconds;
+
+// --- Fault catalog ------------------------------------------------------------
+
+TEST(FiFault, ClassOfEveryKind) {
+  EXPECT_EQ(fi::fault_class(FaultKind::kFrameDrop), FaultClass::kBus);
+  EXPECT_EQ(fi::fault_class(FaultKind::kFrameCorrupt), FaultClass::kBus);
+  EXPECT_EQ(fi::fault_class(FaultKind::kFrameDelay), FaultClass::kBus);
+  EXPECT_EQ(fi::fault_class(FaultKind::kBabblingIdiot), FaultClass::kBus);
+  EXPECT_EQ(fi::fault_class(FaultKind::kValueCorrupt), FaultClass::kRteValue);
+  EXPECT_EQ(fi::fault_class(FaultKind::kStuckAt), FaultClass::kRteValue);
+  EXPECT_EQ(fi::fault_class(FaultKind::kTaskCrash), FaultClass::kTiming);
+  EXPECT_EQ(fi::fault_class(FaultKind::kWcetOverrun), FaultClass::kTiming);
+  EXPECT_EQ(fi::fault_class(FaultKind::kExecutionJitter),
+            FaultClass::kTiming);
+  EXPECT_EQ(fi::fault_class(FaultKind::kClockDrift), FaultClass::kClock);
+}
+
+TEST(FiFault, LabelNamesKindAndTarget) {
+  EXPECT_EQ((Fault{.kind = FaultKind::kWcetOverrun, .target = "pedal"})
+                .label(),
+            "wcet_overrun:pedal");
+  EXPECT_EQ((Fault{.kind = FaultKind::kBabblingIdiot}).label(),
+            "babbling_idiot");
+}
+
+// --- Blame attribution --------------------------------------------------------
+
+rv::Violation violation_on(std::string subject, std::string kind = "range") {
+  rv::Violation v;
+  v.subject = std::move(subject);
+  v.kind = std::move(kind);
+  return v;
+}
+
+TEST(FiScoring, BlamedInstanceParsesSubjectShapes) {
+  EXPECT_EQ(fi::blamed_instance(violation_on("pedal.out.pos")), "pedal");
+  EXPECT_EQ(fi::blamed_instance(violation_on("tk|pedal|5000000")), "pedal");
+  EXPECT_EQ(fi::blamed_instance(
+                violation_on("pedal.out.pos -> wheel_fl.in.pos", "latency")),
+            "pedal");
+  EXPECT_EQ(fi::blamed_instance(violation_on("wheel_fl")), "wheel_fl");
+}
+
+TEST(FiScoring, DetectorOfMapsEveryMonitorKind) {
+  EXPECT_EQ(fi::detector_of("period"), fi::kDetArrival);
+  EXPECT_EQ(fi::detector_of("jitter"), fi::kDetArrival);
+  EXPECT_EQ(fi::detector_of("deadline"), fi::kDetDeadline);
+  EXPECT_EQ(fi::detector_of("response"), fi::kDetDeadline);
+  EXPECT_EQ(fi::detector_of("latency"), fi::kDetLatency);
+  EXPECT_EQ(fi::detector_of("range"), fi::kDetRange);
+  EXPECT_EQ(fi::detector_of("automaton"), fi::kDetAutomaton);
+  EXPECT_EQ(fi::detector_of("???"), 0u);
+}
+
+// --- classify(): one firing and one non-firing case per outcome class ---------
+
+Evidence faulty_run(std::vector<Detection> detections) {
+  Evidence e;
+  e.onset = 100;
+  e.detections = std::move(detections);
+  return e;
+}
+
+TEST(FiScoring, NominalBaselineFiresOnlyWhenSilent) {
+  Evidence clean;
+  clean.baseline = true;
+  EXPECT_EQ(fi::classify(clean, Domain{}), Outcome::kNominal);
+
+  Evidence noisy = clean;
+  noisy.detections.push_back({50, "pedal", fi::kDetRange});
+  EXPECT_NE(fi::classify(noisy, Domain{}), Outcome::kNominal);
+}
+
+TEST(FiScoring, SpuriousOnPreOnsetDetectionOnly) {
+  // A pre-onset violation means the detector cried wolf: spurious wins even
+  // when a legitimate in-domain detection follows.
+  Domain domain{.instances = {"pedal"}};
+  EXPECT_EQ(fi::classify(faulty_run({{99, "pedal", fi::kDetRange},
+                                     {150, "pedal", fi::kDetRange}}),
+                         domain),
+            Outcome::kSpurious);
+  // A detection exactly AT onset is post-onset — not spurious.
+  EXPECT_EQ(fi::classify(faulty_run({{100, "pedal", fi::kDetRange}}), domain),
+            Outcome::kContained);
+  // And a spurious baseline: any detection at all.
+  Evidence baseline;
+  baseline.baseline = true;
+  baseline.detections.push_back({10, "pedal", fi::kDetRange});
+  EXPECT_EQ(fi::classify(baseline, Domain{}), Outcome::kSpurious);
+}
+
+TEST(FiScoring, MissedWhenNoMonitorFires) {
+  EXPECT_EQ(fi::classify(faulty_run({}), Domain{.everything = true}),
+            Outcome::kMissed);
+  EXPECT_NE(fi::classify(faulty_run({{200, "pedal", fi::kDetRange}}),
+                         Domain{.everything = true}),
+            Outcome::kMissed);
+}
+
+TEST(FiScoring, ContainedWhenEveryBlameIsInDomain) {
+  Domain domain{.instances = {"pedal"}};
+  EXPECT_EQ(fi::classify(faulty_run({{150, "pedal", fi::kDetRange},
+                                     {160, "pedal", fi::kDetLatency}}),
+                         domain),
+            Outcome::kContained);
+  // One blame outside the domain and containment is gone.
+  EXPECT_EQ(fi::classify(faulty_run({{150, "pedal", fi::kDetRange},
+                                     {160, "wheel_fl", fi::kDetDeadline}}),
+                         domain),
+            Outcome::kDetected);
+}
+
+TEST(FiScoring, DetectedMeansLeakedOutsideDomain) {
+  // A babbling idiot has an empty domain: any blame of a real component is
+  // a leak -> detected (not contained).
+  Domain babble;
+  EXPECT_EQ(fi::classify(faulty_run({{300, "wheel_fl", fi::kDetArrival}}),
+                         babble),
+            Outcome::kDetected);
+  // A bus-wide domain absorbs the same evidence as contained.
+  EXPECT_EQ(fi::classify(faulty_run({{300, "wheel_fl", fi::kDetArrival}}),
+                         Domain{.everything = true}),
+            Outcome::kContained);
+}
+
+// --- Unification with the isolation helpers -----------------------------------
+
+// The fi adapter and a hand-wired isolation::overrunning_wcet must produce
+// the SAME simulated world: identical violation streams, not just the same
+// verdict.
+std::vector<std::string> violations_under(bool use_fi_adapter) {
+  fi::ModelBundle bundle = fi::workloads::brake_by_wire();
+  sim::Kernel kernel;
+  sim::Trace trace;
+  trace.enable_retention(false);
+  vfb::System sys(kernel, trace, bundle.model, bundle.plan);
+
+  std::vector<std::string> seen;
+  sys.monitors()->on_violation([&seen, &kernel](const rv::Violation& v) {
+    seen.push_back(std::to_string(kernel.now()) + "|" + v.kind + "|" +
+                   v.subject);
+  });
+
+  const Fault fault{.kind = FaultKind::kWcetOverrun,
+                    .target = "pedal",
+                    .from = milliseconds(100),
+                    .until = milliseconds(400),
+                    .magnitude = 80.0};
+  if (use_fi_adapter) {
+    fi::install_faults(kernel, sys, {fault}, sim::Rng(1));
+  } else {
+    sys.task_of("pedal", milliseconds(5))
+        ->transform_durations([&kernel](sim::Duration base) {
+          return isolation::overrunning_wcet(kernel, base, 80.0,
+                                             milliseconds(100),
+                                             milliseconds(400))();
+        });
+  }
+  sys.run_for(milliseconds(600));
+  return seen;
+}
+
+TEST(FiInjector, WcetOverrunMatchesIsolationHelperExactly) {
+  const auto via_fi = violations_under(/*use_fi_adapter=*/true);
+  const auto via_isolation = violations_under(/*use_fi_adapter=*/false);
+  ASSERT_FALSE(via_fi.empty());
+  EXPECT_EQ(via_fi, via_isolation);
+}
+
+TEST(FiInjector, CrashSwallowsWritesPermanently) {
+  fi::ModelBundle bundle = fi::workloads::brake_by_wire();
+  sim::Kernel kernel;
+  sim::Trace trace;
+  vfb::System sys(kernel, trace, bundle.model, bundle.plan);
+  fi::install_faults(kernel, sys,
+                     {Fault{.kind = FaultKind::kTaskCrash,
+                            .target = "pedal",
+                            .from = milliseconds(100)}},
+                     sim::Rng(1));
+  sys.run_for(milliseconds(500));
+  // Writes happened before the crash, none after (the fail-silent model of
+  // isolation::crashing_wcet: until is ignored, crashes are permanent).
+  const auto writes = trace.count("rte.write");
+  EXPECT_GT(writes, 0u);
+  EXPECT_LE(writes, 100u / 5u + 1u);  // ~20 pre-crash samples at 5 ms
+  EXPECT_GT(trace.count("rte.fault_drop"), 0u);
+}
+
+// --- Campaign over brake_by_wire ----------------------------------------------
+
+fi::Campaign bbw_campaign(std::size_t threads, std::size_t replicates) {
+  fi::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.replicates = replicates;
+  cfg.threads = threads;
+  fi::Campaign campaign(fi::workloads::brake_by_wire, cfg);
+  // The shared grid: one representative per expressible kind; the
+  // stochastic ones (probability < 1, jitter) genuinely exercise the
+  // per-scenario RNG streams.
+  fi::workloads::add_standard_faults(campaign);
+  return campaign;
+}
+
+TEST(FiCampaign, ExpandsBaselinePlusFaultsTimesReplicates) {
+  EXPECT_EQ(bbw_campaign(1, 25).scenario_count(), 1u + 8u * 25u);
+}
+
+TEST(FiCampaign, BrakeByWireCoverageMeetsTheFloor) {
+  // >= 200 scenarios (acceptance floor): 8 faults x 25 replicates + baseline.
+  const fi::Report report = bbw_campaign(1, 25).run();
+  ASSERT_EQ(report.scenarios.size(), 201u);
+
+  // The fault-free baseline stays silent and nothing fires pre-onset.
+  EXPECT_EQ(report.spurious_baselines, 0u);
+  EXPECT_EQ(report.count(Outcome::kSpurious), 0u);
+
+  // Every fault class has non-zero detected AND contained cells.
+  for (const char* cls : {"bus", "rte_value", "timing", "clock"}) {
+    ASSERT_TRUE(report.matrix.count(cls)) << cls;
+    const fi::ClassStats& cs = report.matrix.at(cls);
+    EXPECT_GT(cs.detected, 0u) << cls;
+    EXPECT_GT(cs.contained, 0u) << cls;
+  }
+
+  // Detection floor over the whole campaign. The architectural misses are
+  // known and bounded: fail-silent crashes and the TDMA-contained babbler.
+  const std::size_t faulty = report.scenarios.size() - report.baselines;
+  const std::size_t detected = report.count(Outcome::kContained) +
+                               report.count(Outcome::kDetected);
+  EXPECT_GE(detected * 100, faulty * 60) << report.render();
+
+  // Detected scenarios progressed through the whole reaction chain.
+  EXPECT_GT(report.detection_latency.count(), 0u);
+  EXPECT_GT(report.confirmation_latency.count(), 0u);
+  EXPECT_GT(report.reaction_latency.count(), 0u);
+}
+
+TEST(FiCampaign, ReportIsBitIdenticalAcrossThreadCounts) {
+  const fi::Report one = bbw_campaign(1, 25).run();
+  const fi::Report four = bbw_campaign(4, 25).run();
+
+  ASSERT_EQ(one.scenarios.size(), four.scenarios.size());
+  ASSERT_GE(one.scenarios.size(), 201u);
+  for (std::size_t i = 0; i < one.scenarios.size(); ++i) {
+    const fi::ScenarioResult& a = one.scenarios[i];
+    const fi::ScenarioResult& b = four.scenarios[i];
+    EXPECT_EQ(a.outcome, b.outcome) << "scenario " << i;
+    EXPECT_EQ(a.detectors, b.detectors) << "scenario " << i;
+    EXPECT_EQ(a.first_violation, b.first_violation) << "scenario " << i;
+    EXPECT_EQ(a.first_dtc, b.first_dtc) << "scenario " << i;
+    EXPECT_EQ(a.first_degrade, b.first_degrade) << "scenario " << i;
+    EXPECT_EQ(a.violations, b.violations) << "scenario " << i;
+  }
+  // The rendered matrix (counts + latency percentiles) is byte-identical.
+  EXPECT_EQ(one.render(), four.render());
+}
+
+}  // namespace

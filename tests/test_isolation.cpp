@@ -79,6 +79,34 @@ TEST(FaultInjection, JitteryWcetBounded) {
   }
 }
 
+TEST(FaultInjection, OverrunWindowBoundariesAreHalfOpen) {
+  // [from, until): active exactly at `from`, back to nominal at `until`.
+  Kernel kernel;
+  auto wcet = overrunning_wcet(kernel, milliseconds(1), 2.0,
+                               milliseconds(10), milliseconds(20));
+  kernel.schedule_at(milliseconds(10), [] {});
+  kernel.run_until(milliseconds(10));
+  EXPECT_EQ(wcet(), milliseconds(2));
+  kernel.schedule_at(milliseconds(20), [] {});
+  kernel.run_until(milliseconds(20));
+  EXPECT_EQ(wcet(), milliseconds(1));
+}
+
+TEST(FaultInjection, JitteryWcetDeterministicForSameSeed) {
+  orte::sim::Rng a(9), b(9);
+  auto wa = jittery_wcet(a, milliseconds(2), 0.5);
+  auto wb = jittery_wcet(b, milliseconds(2), 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(wa(), wb());
+}
+
+TEST(FaultInjection, JitteryWcetRejectsFractionOutsideUnit) {
+  orte::sim::Rng rng(1);
+  EXPECT_THROW(jittery_wcet(rng, milliseconds(1), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(jittery_wcet(rng, milliseconds(1), 1.5),
+               std::invalid_argument);
+}
+
 TEST(FaultInjection, CrashingWcetGoesSilent) {
   Kernel kernel;
   auto wcet = crashing_wcet(kernel, milliseconds(1), milliseconds(5));

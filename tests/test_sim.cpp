@@ -250,6 +250,46 @@ TEST(Rng, DoubleInUnitInterval) {
   }
 }
 
+TEST(Rng, ForkIsPureAndOrderIndependent) {
+  // fork() must be a pure function of (parent state, stream id): it neither
+  // advances the parent nor depends on earlier forks.
+  Rng a(7), b(7);
+  Rng a1 = a.fork(1);
+  (void)a.fork(99);          // an interleaved fork must not matter
+  Rng a1_again = a.fork(1);  // nor must forking twice
+  Rng b1 = b.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto expected = b1.next_u64();
+    EXPECT_EQ(a1.next_u64(), expected);
+    EXPECT_EQ(a1_again.next_u64(), expected);
+  }
+  // ... and the parent stream is untouched by all of the forking above.
+  Rng untouched(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), untouched.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreDecorrelated) {
+  Rng parent(7);
+  Rng s0 = parent.fork(0), s1 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDependsOnParentState) {
+  Rng a(7), b(8);
+  Rng fa = a.fork(4), fb = b.fork(4);
+  EXPECT_NE(fa.next_u64(), fb.next_u64());
+  // Advancing the parent changes what subsequent forks derive.
+  Rng c(7);
+  (void)c.next_u64();
+  Rng fc = c.fork(4);
+  Rng fa2 = Rng(7).fork(4);
+  EXPECT_NE(fc.next_u64(), fa2.next_u64());
+}
+
 TEST(Rng, UUniFastSumsToTarget) {
   Rng rng(5);
   for (int trial = 0; trial < 20; ++trial) {
