@@ -1,6 +1,13 @@
 // Kernel micro-benchmarks — the simulation hot path.
 //
-// Three workloads that exercised the former O(n^2) cancellation path:
+// Two groups:
+//  * legacy scaling cases (below) that exercised the former O(n^2)
+//    cancellation path and pin linear complexity, and
+//  * 4096-task cases (TaskChurn / SteadyState / CancelHeavy) measuring
+//    cache residency of the slot-pool + timer-wheel storage layer under
+//    ECU-shaped load.
+//
+// Legacy cases:
 //   * Churn: schedule N one-shot events, cancel half; the old kernel kept
 //     every cancelled id in a vector and linearly scanned it on each pop.
 //   * Periodic storm: P periodics re-arming for T ticks; the old kernel
@@ -14,6 +21,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bench_gbench_json.hpp"
@@ -118,6 +126,94 @@ void BM_CanFanOut(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * receivers * frames);
 }
 
+// --- 4096-task cases ---------------------------------------------------------
+// The three shapes an ECU-sized system generates at scale. All three use only
+// the public Kernel API, so the same source measures any kernel revision.
+
+// Churn: T concurrent activities; each firing schedules its own successor a
+// staggered short hop ahead and re-arms a deadline observer while cancelling
+// the previous one — the schedule/cancel/fire pattern one Ecu job produces.
+void BM_TaskChurn(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto rounds = static_cast<std::int64_t>(state.range(1));
+  std::uint64_t total_fired = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    std::uint64_t fired = 0;
+    std::vector<sim::EventHandle> observers(tasks);
+    std::function<void(std::size_t)> job = [&](std::size_t t) {
+      ++fired;
+      k.cancel(observers[t]);  // "job" finished before its deadline
+      const auto period =
+          static_cast<sim::Duration>(1'000 + (t % 97) * 13);
+      k.schedule_at(k.now() + period, [&job, t] { job(t); });
+      observers[t] = k.schedule_at(k.now() + 2 * period, [] {},
+                                   sim::EventOrder::kObserver);
+    };
+    for (std::size_t t = 0; t < tasks; ++t) {
+      k.schedule_at(static_cast<sim::Time>(t % 257) + 1, [&job, t] { job(t); });
+    }
+    k.run_until(rounds * 1'700);  // ~rounds firings per task
+    total_fired += fired;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_fired));
+}
+
+// Steady state: T periodic series with staggered phases re-arming forever.
+// Periods span a few wheel buckets, so re-arms park in the wheel and only
+// front buckets ever touch the heap.
+void BM_SteadyState(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto horizon_us = static_cast<std::int64_t>(state.range(1));
+  std::uint64_t total_fired = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    std::uint64_t fired = 0;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      const auto period =
+          static_cast<sim::Duration>(100'000 + (t % 193) * 971);
+      k.schedule_periodic(static_cast<sim::Time>(1 + (t % 1009)), period,
+                          [&fired] { ++fired; });
+    }
+    k.run_until(horizon_us * 1'000);
+    total_fired += fired;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_fired));
+}
+
+// Cancel-heavy: every firing schedules a burst of speculative futures and
+// immediately retires most of them — cancels against events that never reach
+// the front of the queue alive.
+void BM_CancelHeavy(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto rounds = static_cast<std::int64_t>(state.range(1));
+  std::uint64_t total_fired = 0;
+  for (auto _ : state) {
+    sim::Kernel k;
+    std::uint64_t fired = 0;
+    std::function<void(std::size_t)> job = [&](std::size_t t) {
+      ++fired;
+      sim::EventHandle spec[4];
+      for (int i = 0; i < 4; ++i) {
+        spec[i] = k.schedule_at(
+            k.now() + 2'000 + static_cast<sim::Duration>(531 * i), [] {});
+      }
+      for (int i = 0; i < 3; ++i) k.cancel(spec[i]);  // keep only the last
+      const auto period = static_cast<sim::Duration>(1'000 + (t % 61) * 7);
+      k.schedule_at(k.now() + period, [&job, t] { job(t); });
+    };
+    for (std::size_t t = 0; t < tasks; ++t) {
+      k.schedule_at(static_cast<sim::Time>(t % 127) + 1, [&job, t] { job(t); });
+    }
+    k.run_until(rounds * 1'200);
+    total_fired += fired;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_fired));
+}
+
 BENCHMARK(BM_CancelChurn)
     ->Arg(10'000)
     ->Arg(30'000)
@@ -141,6 +237,18 @@ BENCHMARK(BM_CanFanOut)
     ->Args({16, 20'000})
     ->Args({64, 20'000})
     ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TaskChurn)
+    ->Args({1024, 50})
+    ->Args({4096, 50})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SteadyState)
+    ->Args({1024, 5'000})
+    ->Args({4096, 5'000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CancelHeavy)
+    ->Args({1024, 40})
+    ->Args({4096, 40})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -19,6 +19,7 @@ Task& Ecu::add_task(TaskConfig cfg) {
     throw std::invalid_argument("Ecu::add_task: unknown partition");
   }
   tasks_.push_back(std::make_unique<Task>(std::move(cfg)));
+  tasks_.back()->ecu_ = this;
   return *tasks_.back();
 }
 
@@ -173,15 +174,19 @@ void Ecu::begin_job(Task& task) {
   // Miss detection happens AT the deadline, so starved jobs that never
   // complete are counted too. The observer fires after same-instant
   // completions, so finishing exactly on the deadline is not a miss.
+  // The 16-byte {Task*, seq} capture fits std::function's small-object
+  // buffer, so arming a job costs no allocation; the Ecu is reached through
+  // the task's back-pointer.
   if (task.absolute_deadline_ != sim::kForever) {
     Task* t = &task;
     const std::uint64_t seq = task.job_seq_;
-    kernel_.schedule_at(
+    task.deadline_event_ = kernel_.schedule_at(
         task.absolute_deadline_,
-        [this, t, seq] {
+        [t, seq] {
           if (t->state_ != Task::State::kSuspended && t->job_seq_ == seq) {
             ++t->deadline_misses_;
-            trace_.emit(kernel_.now(), "task.deadline_miss", t->cfg_.name);
+            t->ecu_->trace_.emit(t->ecu_->kernel_.now(), "task.deadline_miss",
+                                 t->cfg_.name);
           }
         },
         sim::EventOrder::kObserver);
@@ -359,6 +364,10 @@ void Ecu::complete_job(Task& task) {
               now - task.activation_time_);
   if (task.completion_cb_) task.completion_cb_(task.activation_time_, now);
   task.state_ = Task::State::kSuspended;
+  // The job left the system before (or exactly at) its deadline: retire the
+  // miss observer instead of letting it fire as a dead event. Cancelling a
+  // handle whose event already fired (miss already counted) is a no-op.
+  kernel_.cancel(task.deadline_event_);
   if (running_ == &task) running_ = nullptr;
   if (!task.pending_.empty()) {
     task.pending_.erase(task.pending_.begin());
@@ -370,6 +379,7 @@ void Ecu::kill_job(Task& task, std::string_view reason) {
   ++task.jobs_killed_;
   trace_.emit(kernel_.now(), "task.kill", task.cfg_.name, 0, reason);
   task.state_ = Task::State::kSuspended;
+  kernel_.cancel(task.deadline_event_);  // stale-safe if it already fired
   if (running_ == &task) running_ = nullptr;
   if (!task.pending_.empty()) {
     task.pending_.erase(task.pending_.begin());

@@ -155,6 +155,9 @@ class Task {
   enum class State { kSuspended, kReady, kRunning };
 
   TaskConfig cfg_;
+  Ecu* ecu_ = nullptr;  ///< Owning ECU (set at add_task); lets per-job
+                        ///< observers capture only {Task*, seq} and stay
+                        ///< within std::function's small-buffer size.
   std::vector<Segment> segments_;
   std::function<void(Time, Time)> completion_cb_;
 
@@ -167,6 +170,9 @@ class Task {
   Time activation_time_ = 0;
   Time absolute_deadline_ = sim::kForever;
   std::uint64_t job_seq_ = 0;  ///< Distinguishes jobs for deadline checks.
+  /// Pending deadline-miss observer of the current job; cancelled when the
+  /// job leaves the system before its deadline (O(1), generation-safe).
+  sim::EventHandle deadline_event_;
   std::vector<Time> pending_;  ///< Queued activation instants.
 
   // --- Statistics -----------------------------------------------------------

@@ -34,7 +34,7 @@ void ArrivalMonitor::resync() {
   streak_ = 0;
 }
 
-void ArrivalMonitor::observe(const sim::TraceRecord& rec) {
+void ArrivalMonitor::observe(const sim::TraceEvent& rec) {
   if (rec.subject_id != subject_id_) return;
   ++arrivals_;
   const sim::Time prev = last_;
@@ -82,7 +82,7 @@ void DeadlineMonitor::prepare(sim::Trace& trace) {
 
 void DeadlineMonitor::resync() { miss_streak_ = 0; }
 
-void DeadlineMonitor::observe(const sim::TraceRecord& rec) {
+void DeadlineMonitor::observe(const sim::TraceEvent& rec) {
   if (rec.subject_id != task_id_) return;
   if (rec.category_id == miss_category_id_) {
     note_observation();
@@ -137,7 +137,7 @@ void LatencyMonitor::resync() {
   streak_ = 0;
 }
 
-void LatencyMonitor::observe(const sim::TraceRecord& rec) {
+void LatencyMonitor::observe(const sim::TraceEvent& rec) {
   if (rec.category_id == source_category_id_ &&
       rec.subject_id == source_subject_id_) {
     in_flight_.push_back(rec.when);
@@ -205,7 +205,7 @@ void RangeMonitor::prepare(sim::Trace& trace) {
 
 void RangeMonitor::resync() { streak_ = 0; }
 
-void RangeMonitor::observe(const sim::TraceRecord& rec) {
+void RangeMonitor::observe(const sim::TraceEvent& rec) {
   if (rec.subject_id != subject_id_) return;
   ++checked_;
   note_observation();
@@ -245,6 +245,7 @@ std::vector<Monitor::Subscription> AutomatonMonitor::subscriptions() const {
 }
 
 void AutomatonMonitor::prepare(sim::Trace& trace) {
+  trace_ = &trace;
   rule_ids_.clear();
   for (const auto& rule : spec_.labels) {
     RuleIds ids;
@@ -255,7 +256,7 @@ void AutomatonMonitor::prepare(sim::Trace& trace) {
   }
 }
 
-void AutomatonMonitor::observe(const sim::TraceRecord& rec) {
+void AutomatonMonitor::observe(const sim::TraceEvent& rec) {
   const AutomatonSpec::LabelRule* rule = nullptr;
   for (std::size_t i = 0; i < rule_ids_.size(); ++i) {
     const RuleIds& ids = rule_ids_[i];
@@ -282,7 +283,9 @@ void AutomatonMonitor::observe(const sim::TraceRecord& rec) {
   }
   Violation v;
   v.contract = contract_;
-  v.subject = rec.subject;
+  v.subject = trace_ != nullptr
+                  ? std::string(trace_->subject_name(rec.subject_id))
+                  : std::string();
   v.kind = "automaton";
   v.observed = delay;
   v.bound = 0;

@@ -51,7 +51,12 @@ class Monitor {
   /// observe() compares integers, never strings.
   virtual void prepare(sim::Trace& trace) { (void)trace; }
 
-  virtual void observe(const sim::TraceRecord& rec) = 0;
+  /// Observe one routed emission. The TraceEvent view carries interned IDs
+  /// only (no name strings) — the registry reaches this through the
+  /// Trace::subscribe_ids fast path, so a monitored run never materializes
+  /// per-record strings; name lookups (for violation reports) go through
+  /// the Trace handed to prepare().
+  virtual void observe(const sim::TraceEvent& rec) = 0;
 
   /// Re-anchor incremental expectations after a gap the monitor must not
   /// judge (the registry calls this when a contract is rehabilitated after
@@ -111,7 +116,7 @@ class ArrivalMonitor final : public Monitor {
   explicit ArrivalMonitor(ArrivalSpec spec);
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
-  void observe(const sim::TraceRecord& rec) override;
+  void observe(const sim::TraceEvent& rec) override;
   void resync() override;
   [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
 
@@ -143,7 +148,7 @@ class DeadlineMonitor final : public Monitor {
   explicit DeadlineMonitor(DeadlineSpec spec);
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
-  void observe(const sim::TraceRecord& rec) override;
+  void observe(const sim::TraceEvent& rec) override;
   void resync() override;
   [[nodiscard]] std::uint64_t completions() const { return completions_; }
 
@@ -188,7 +193,7 @@ class LatencyMonitor final : public Monitor {
   explicit LatencyMonitor(LatencySpec spec);
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
-  void observe(const sim::TraceRecord& rec) override;
+  void observe(const sim::TraceEvent& rec) override;
   void resync() override;
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] sim::Duration worst() const { return worst_; }
@@ -235,7 +240,7 @@ class RangeMonitor final : public Monitor {
   explicit RangeMonitor(RangeSpec spec);
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
-  void observe(const sim::TraceRecord& rec) override;
+  void observe(const sim::TraceEvent& rec) override;
   void resync() override;
   [[nodiscard]] std::uint64_t checked() const { return checked_; }
 
@@ -272,7 +277,7 @@ class AutomatonMonitor final : public Monitor {
   explicit AutomatonMonitor(AutomatonSpec spec);
   [[nodiscard]] std::vector<Subscription> subscriptions() const override;
   void prepare(sim::Trace& trace) override;
-  void observe(const sim::TraceRecord& rec) override;
+  void observe(const sim::TraceEvent& rec) override;
   void resync() override;
   [[nodiscard]] std::uint64_t events() const { return events_; }
   [[nodiscard]] int location() const { return stepper_.location(); }
@@ -286,7 +291,8 @@ class AutomatonMonitor final : public Monitor {
   };
 
   AutomatonSpec spec_;
-  std::vector<RuleIds> rule_ids_;  ///< Parallel to spec_.labels.
+  const sim::Trace* trace_ = nullptr;  ///< For subject names in violations.
+  std::vector<RuleIds> rule_ids_;      ///< Parallel to spec_.labels.
   contracts::TimedAutomaton::Stepper stepper_;
   sim::Time last_event_ = 0;
   bool anchor_pending_ = false;  ///< Next event re-anchors time (resync()).

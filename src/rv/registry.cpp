@@ -1,7 +1,6 @@
 #include "rv/registry.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -39,9 +38,10 @@ std::uint32_t contract_dtc_code(std::string_view contract) {
 }
 
 MonitorRegistry::MonitorRegistry(sim::Trace& trace) : trace_(trace) {
-  trace_.subscribe([this](const sim::TraceRecord& rec) {
-    assert(trace_.category_name(rec.category_id) == rec.category &&
-           trace_.subject_name(rec.subject_id) == rec.subject);
+  // ID-only subscription: the registry routes and delivers on interned IDs
+  // exclusively, so its presence never forces the trace to materialize
+  // name strings for unwatched — or even watched — records.
+  trace_.subscribe_ids([this](const sim::TraceEvent& rec) {
     auto it = index_.find(rec.category_id);
     if (it == index_.end()) return;  // category nobody watches
     ++records_routed_;

@@ -45,9 +45,24 @@ struct TraceRecord {
   TraceId subject_id = kNoTraceId;   ///< Intern ID of `subject`.
 };
 
+/// Allocation-free view of one emission, delivered to ID listeners
+/// (subscribe_ids). Carries the interned IDs instead of the name strings —
+/// consumers that route on TraceIds (rv::MonitorRegistry) never pay a string
+/// assignment; names are recoverable through Trace::category_name /
+/// subject_name when a cold path (violation reporting) needs them. `detail`
+/// views the emitter's buffer and is only valid during the callback.
+struct TraceEvent {
+  Time when = 0;
+  TraceId category_id = kNoTraceId;
+  TraceId subject_id = kNoTraceId;
+  std::int64_t value = 0;
+  std::string_view detail;
+};
+
 class Trace {
  public:
   using Listener = std::function<void(const TraceRecord&)>;
+  using IdListener = std::function<void(const TraceEvent&)>;
 
   void enable_retention(bool on) { retain_ = on; }
 
@@ -56,9 +71,17 @@ class Trace {
     const TraceId cat = categories_.intern(category);
     const TraceId subj = subjects_.intern(subject);
     bump(cat, subj);
+    // ID listeners run first, before any record is materialized: when every
+    // observer routes on TraceIds (the rv-bound configuration) and retention
+    // is off, an emit costs two intern lookups, the count bumps, and this
+    // loop — no string is assigned or copied anywhere.
+    if (!id_listeners_.empty()) {
+      const TraceEvent ev{when, cat, subj, value, detail};
+      for (const auto& l : id_listeners_) l(ev);
+    }
     if (!retain_) {
       records_complete_ = false;
-      if (listeners_.empty()) return;  // no-observer fast path
+      if (listeners_.empty()) return;  // no string observer: done
       // Listener-only path: notify through a reused scratch record — the
       // string assignments reuse capacity, so a warmed-up monitored run
       // emits with zero allocations.
@@ -81,6 +104,13 @@ class Trace {
 
   void subscribe(Listener listener) {
     listeners_.push_back(std::move(listener));
+  }
+
+  /// Subscribe an ID-only listener: it receives a TraceEvent (interned IDs,
+  /// no name strings) for every emission, before the string listeners run.
+  /// This is the fan-out fast path for routers that compare TraceIds.
+  void subscribe_ids(IdListener listener) {
+    id_listeners_.push_back(std::move(listener));
   }
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const {
@@ -141,30 +171,35 @@ class Trace {
   /// Every (subject, count) pair recorded under `category`, in subject
   /// order. Incremental consumers (isolation::ContainmentMonitor, rv
   /// monitors) classify from this index instead of re-scanning records.
+  /// O(subjects-in-category): each category keeps its own bucket of seen
+  /// subject IDs, so the query never walks the whole (category, subject)
+  /// map.
   [[nodiscard]] std::vector<std::pair<std::string, std::size_t>>
   subject_counts(std::string_view category) const {
     std::vector<std::pair<std::string, std::size_t>> out;
     const TraceId cat = categories_.find(category);
-    if (cat == kNoTraceId) return out;
-    for (const auto& [key, n] : pair_counts_) {
-      if (static_cast<TraceId>(key >> 32) != cat) continue;
-      out.emplace_back(std::string(subjects_.name(
-                           static_cast<TraceId>(key & 0xFFFFFFFFu))),
-                       n);
+    if (cat == kNoTraceId || cat >= category_subjects_.size()) return out;
+    out.reserve(category_subjects_[cat].size());
+    for (const TraceId subj : category_subjects_[cat]) {
+      out.emplace_back(std::string(subjects_.name(subj)),
+                       pair_counts_.at(pair_key(cat, subj)));
     }
     std::sort(out.begin(), out.end());
     return out;
   }
 
   /// ID-keyed variant of subject_counts() (unordered): every
-  /// (subject_id, count) pair recorded under the category ID.
+  /// (subject_id, count) pair recorded under the category ID, in
+  /// O(subjects-in-category).
   [[nodiscard]] std::vector<std::pair<TraceId, std::size_t>>
   subject_counts_by_id(TraceId category) const {
     std::vector<std::pair<TraceId, std::size_t>> out;
-    if (category == kNoTraceId) return out;
-    for (const auto& [key, n] : pair_counts_) {
-      if (static_cast<TraceId>(key >> 32) != category) continue;
-      out.emplace_back(static_cast<TraceId>(key & 0xFFFFFFFFu), n);
+    if (category == kNoTraceId || category >= category_subjects_.size()) {
+      return out;
+    }
+    out.reserve(category_subjects_[category].size());
+    for (const TraceId subj : category_subjects_[category]) {
+      out.emplace_back(subj, pair_counts_.at(pair_key(category, subj)));
     }
     return out;
   }
@@ -181,6 +216,7 @@ class Trace {
     records_.clear();
     category_counts_.assign(category_counts_.size(), 0);
     pair_counts_.clear();
+    for (auto& bucket : category_subjects_) bucket.clear();
     records_complete_ = true;
   }
 
@@ -202,7 +238,21 @@ class Trace {
       ++cat_recount[cat];
       ++pair_recount[pair_key(cat, subj)];
     }
-    return cat_recount == category_counts_ && pair_recount == pair_counts_;
+    if (cat_recount != category_counts_ || pair_recount != pair_counts_) {
+      return false;
+    }
+    // The per-category subject buckets must mirror the pair index exactly:
+    // every bucketed subject has a pair cell, and nothing is missing.
+    std::size_t bucket_entries = 0;
+    for (TraceId cat = 0; cat < category_subjects_.size(); ++cat) {
+      for (const TraceId subj : category_subjects_[cat]) {
+        ++bucket_entries;
+        if (pair_counts_.find(pair_key(cat, subj)) == pair_counts_.end()) {
+          return false;
+        }
+      }
+    }
+    return bucket_entries == pair_counts_.size();
   }
 
   /// True while the retained records cover every emission since
@@ -247,21 +297,30 @@ class Trace {
   }
 
   // Single-lookup bump per index (operator[] value-initializes on miss) —
-  // no find-then-emplace double walk, no key strings.
+  // no find-then-emplace double walk, no key strings. A pair's first bump
+  // also files the subject into the category's subject bucket, keeping the
+  // subject_counts() queries O(subjects-in-category).
   void bump(TraceId category, TraceId subject) {
     if (category >= category_counts_.size()) {
       category_counts_.resize(category + 1, 0);
+      category_subjects_.resize(category + 1);
     }
     ++category_counts_[category];
-    ++pair_counts_[pair_key(category, subject)];
+    auto& n = pair_counts_[pair_key(category, subject)];
+    if (n == 0) category_subjects_[category].push_back(subject);
+    ++n;
   }
 
   std::vector<Listener> listeners_;
+  std::vector<IdListener> id_listeners_;
   std::vector<TraceRecord> records_;
   TraceRecord scratch_;  ///< Reused for listener-only (no-retention) emits.
   Interner categories_;
   Interner subjects_;
   std::vector<std::size_t> category_counts_;  ///< Indexed by category ID.
+  /// Subject IDs seen per category (first-bump order) — the iteration set
+  /// of subject_counts(); pair_counts_ keeps the numbers.
+  std::vector<std::vector<TraceId>> category_subjects_;
   std::unordered_map<std::uint64_t, std::size_t> pair_counts_;
   bool retain_ = true;
   bool records_complete_ = true;

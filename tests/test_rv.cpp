@@ -649,8 +649,10 @@ class ProbeMonitor final : public rv::Monitor {
   [[nodiscard]] std::vector<Subscription> subscriptions() const override {
     return subs_;
   }
-  void observe(const sim::TraceRecord& rec) override {
-    seen.push_back(rec.category + "/" + rec.subject);
+  void prepare(sim::Trace& trace) override { trace_ = &trace; }
+  void observe(const sim::TraceEvent& rec) override {
+    seen.push_back(std::string(trace_->category_name(rec.category_id)) + "/" +
+                   std::string(trace_->subject_name(rec.subject_id)));
     ids_consistent = ids_consistent && rec.category_id != sim::kNoTraceId &&
                      rec.subject_id != sim::kNoTraceId;
   }
@@ -659,6 +661,7 @@ class ProbeMonitor final : public rv::Monitor {
   bool ids_consistent = true;
 
  private:
+  const sim::Trace* trace_ = nullptr;
   std::vector<Subscription> subs_;
 };
 

@@ -1,6 +1,9 @@
 // Unit tests: discrete-event kernel, RNG, statistics, trace.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -556,6 +559,243 @@ TEST(Trace, CountsMatchRecordsWhileRetentionIsComplete) {
   t.clear();
   EXPECT_TRUE(t.records_complete());
   t.emit(5, "cat.a", "x");
+  EXPECT_TRUE(t.counts_match_records());
+}
+
+// --- Golden event order across storage layers --------------------------------
+
+// A deterministic pseudo-random mix of one-shots, periodics, same-instant
+// ties across every order class, chained scheduling, and cancels (up-front,
+// in-flight, self-, cross-, stale-). The FNV-1a hash below was produced by
+// the flat binary-heap kernel that predates the slot pool and timer wheel;
+// the current kernel must reproduce the exact firing sequence, bit for bit.
+// If an intentional ordering change ever lands, regenerate the constant with
+// the PREVIOUS kernel and document the break.
+std::uint64_t golden_workload_hash(std::size_t* fired_count) {
+  Kernel k;
+  Rng rng(0xC0FFEE);
+  std::vector<std::pair<Time, int>> fired;
+  std::vector<EventHandle> handles;
+  const EventOrder orders[5] = {EventOrder::kHardware, EventOrder::kKernel,
+                                EventOrder::kDefault, EventOrder::kSoftware,
+                                EventOrder::kObserver};
+  for (int i = 0; i < 400; ++i) {
+    const Time when = rng.uniform(0, 200000);
+    const EventOrder ord = orders[rng.uniform(0, 4)];
+    const int tag = i;
+    handles.push_back(k.schedule_at(
+        when,
+        [&k, &fired, &handles, tag] {
+          fired.emplace_back(k.now(), tag);
+          if (tag % 7 == 0) {
+            k.schedule_in(tag % 3 == 0 ? 0 : 37, [&k, &fired, tag] {
+              fired.emplace_back(k.now(), 1000 + tag);
+            });
+          }
+          if (tag % 11 == 0) {
+            k.cancel(handles[static_cast<std::size_t>(tag * 13) %
+                             handles.size()]);
+          }
+        },
+        ord));
+  }
+  std::vector<int> pfires(40, 0);
+  std::vector<EventHandle> ph(40);
+  for (int p = 0; p < 40; ++p) {
+    const Time first = rng.uniform(0, 3000);
+    const Duration period = rng.uniform(1, 997);
+    const EventOrder ord = orders[rng.uniform(0, 4)];
+    ph[p] = k.schedule_periodic(
+        first, period,
+        [&k, &fired, &pfires, &ph, p] {
+          fired.emplace_back(k.now(), 2000 + p);
+          if (++pfires[p] == 5 + p % 17) k.cancel(ph[p]);
+          if (p == 13 && pfires[p] == 3) k.cancel(ph[27]);
+        },
+        ord);
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 3) k.cancel(handles[i]);
+  k.run_until(250000);
+  for (auto& h : handles) k.cancel(h);  // all stale by now: must be no-ops
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& [t, tag] : fired) {
+    mix(static_cast<std::uint64_t>(t));
+    mix(static_cast<std::uint64_t>(tag));
+  }
+  mix(fired.size());
+  mix(k.counters().executed);
+  mix(k.counters().cancelled);
+  if (fired_count != nullptr) *fired_count = fired.size();
+  return h;
+}
+
+TEST(Kernel, GoldenEventOrderMatchesFlatHeapKernel) {
+  std::size_t fired = 0;
+  EXPECT_EQ(golden_workload_hash(&fired), 0x56c289cc20f4bc5dull);
+  EXPECT_EQ(fired, 770u);
+}
+
+// --- EventHandle generation safety -------------------------------------------
+
+TEST(Kernel, CancelAfterFireIsANoOp) {
+  Kernel k;
+  int fired = 0;
+  auto h = k.schedule_at(100, [&] { ++fired; });
+  k.run_until(200);
+  EXPECT_EQ(fired, 1);
+  k.cancel(h);  // handle went stale the moment the event fired
+  k.cancel(h);
+  EXPECT_EQ(k.counters().cancelled, 0u);
+}
+
+TEST(Kernel, DoubleCancelCountsOnce) {
+  Kernel k;
+  auto h = k.schedule_at(100, [] {});
+  k.cancel(h);
+  k.cancel(h);
+  EXPECT_EQ(k.counters().cancelled, 1u);
+  k.run_until(200);
+  EXPECT_EQ(k.counters().executed, 0u);
+}
+
+TEST(Kernel, StaleHandleCannotCancelRecycledSlot) {
+  Kernel k;
+  int first = 0;
+  int second = 0;
+  auto h1 = k.schedule_at(100, [&] { ++first; });
+  k.cancel(h1);  // frees the slot ...
+  k.schedule_at(150, [&] { ++second; });  // ... which this event recycles
+  k.cancel(h1);  // stale generation: must not touch the new occupant
+  k.run_until(1000);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(k.counters().cancelled, 1u);
+}
+
+// --- Past-time scheduling policy ---------------------------------------------
+
+// Time travel is a programming error: every schedule flavor refuses it with
+// std::invalid_argument — no clamping, identical in every build type.
+// Scheduling exactly AT now() is allowed and fires in (order, seq) position
+// within the current instant.
+TEST(Kernel, PastTimePolicyThrowsForEveryScheduleFlavor) {
+  Kernel k;
+  k.schedule_at(100, [] {});
+  k.run_until(500);
+  EXPECT_THROW(k.schedule_at(499, [] {}), std::invalid_argument);
+  EXPECT_THROW(k.schedule_in(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(k.schedule_periodic(499, 10, [] {}), std::invalid_argument);
+  EXPECT_THROW(k.schedule_periodic(500, 0, [] {}), std::invalid_argument);
+  int fired = 0;
+  k.schedule_at(500, [&] { ++fired; });  // "now" is fine
+  k.run_until(501);
+  EXPECT_EQ(fired, 1);
+}
+
+// --- Timer wheel and pool counters -------------------------------------------
+
+TEST(Kernel, WheelParksFarEventsAndFlushesInOrder) {
+  Kernel k;
+  std::vector<int> order;
+  const Time bucket = Time{1} << 16;  // wheel bucket width in ns
+  // Same bucket as now: straight to the heap.
+  k.schedule_at(10, [&] { order.push_back(1); });
+  // A few buckets out: parks in the wheel.
+  k.schedule_at(3 * bucket, [&] { order.push_back(2); });
+  // Beyond the wheel horizon: overflows to the heap.
+  k.schedule_at(400 * bucket, [&] { order.push_back(3); });
+  EXPECT_EQ(k.counters().wheel_scheduled, 1u);
+  EXPECT_EQ(k.counters().queue_depth, 3u);  // heap and wheel combined
+  k.run_until(400 * bucket + 1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.counters().wheel_flushed, 1u);
+  EXPECT_EQ(k.counters().queue_depth, 0u);
+}
+
+TEST(Kernel, PoolSlotsAreRecycledNotGrown) {
+  Kernel k;
+  std::vector<EventHandle> hs;
+  hs.reserve(64);
+  for (int i = 0; i < 64; ++i) hs.push_back(k.schedule_at(i + 1, [] {}));
+  EXPECT_EQ(k.counters().pool_slots, 64u);
+  for (auto& h : hs) k.cancel(h);
+  // A fresh batch must reuse the freed slots, not extend the pool.
+  for (int i = 0; i < 64; ++i) k.schedule_at(i + 100, [] {});
+  EXPECT_EQ(k.counters().pool_slots, 64u);
+  k.run_until(1000);
+  EXPECT_EQ(k.counters().executed, 64u);
+}
+
+// --- Trace ID-only listener fast path ----------------------------------------
+
+TEST(Trace, IdListenersRunBeforeStringListeners) {
+  Trace t;
+  std::vector<std::string> seq;
+  t.subscribe([&](const TraceRecord&) { seq.push_back("string"); });
+  t.subscribe_ids([&](const TraceEvent&) { seq.push_back("id"); });
+  t.emit(1, "cat", "s");
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[0], "id");  // regardless of subscription order
+  EXPECT_EQ(seq[1], "string");
+}
+
+TEST(Trace, IdListenersGetInternedIdsValueAndDetail) {
+  Trace t;
+  const TraceId cat = t.intern_category("cat");
+  const TraceId subj = t.intern_subject("s");
+  TraceEvent seen{};
+  std::string detail;
+  t.subscribe_ids([&](const TraceEvent& e) {
+    seen = e;
+    detail = std::string(e.detail);
+  });
+  t.emit(7, "cat", "s", 42, "d");
+  EXPECT_EQ(seen.when, 7);
+  EXPECT_EQ(seen.category_id, cat);
+  EXPECT_EQ(seen.subject_id, subj);
+  EXPECT_EQ(seen.value, 42);
+  EXPECT_EQ(detail, "d");
+}
+
+TEST(Trace, IdListenersWorkWithoutRetentionOrStringListeners) {
+  // The rv configuration: retention off, no TraceRecord listeners — emits
+  // must reach ID listeners without materializing any std::string.
+  Trace t;
+  t.enable_retention(false);
+  std::size_t n = 0;
+  t.subscribe_ids([&](const TraceEvent&) { ++n; });
+  for (int i = 0; i < 5; ++i) t.emit(i, "cat", "s");
+  EXPECT_EQ(n, 5u);
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.count("cat"), 5u);
+}
+
+// Regression for the bucketed per-category subject index: it must agree with
+// a full scan of the retained records (the implementation it replaced).
+TEST(Trace, SubjectCountsMatchFullRecordScan) {
+  Trace t;
+  const char* cats[] = {"cat.a", "cat.b", "cat.c"};
+  const char* subs[] = {"u", "v", "w", "x"};
+  for (int i = 0; i < 200; ++i) {
+    t.emit(i, cats[(i * 7) % 3], subs[(i * 13) % 4]);
+  }
+  for (const char* cat : cats) {
+    std::map<std::string, std::size_t> scan;
+    for (const auto& r : t.records()) {
+      if (t.category_name(r.category_id) == cat) {
+        ++scan[std::string(t.subject_name(r.subject_id))];
+      }
+    }
+    const auto fast = t.subject_counts(cat);
+    ASSERT_EQ(fast.size(), scan.size());
+    for (const auto& [subject, count] : fast) {
+      EXPECT_EQ(count, scan[subject]) << cat << "/" << subject;
+    }
+  }
   EXPECT_TRUE(t.counts_match_records());
 }
 
