@@ -38,7 +38,7 @@ int main() {
   cfg.threads = std::clamp<std::size_t>(
       std::thread::hardware_concurrency(), 1, 8);
 
-  fi::Campaign campaign(fi::workloads::brake_by_wire, cfg);
+  fi::Campaign campaign([] { return fi::workloads::brake_by_wire(); }, cfg);
   fi::workloads::add_standard_faults(campaign);
 
   bench::print_title("E9b: fault-injection coverage (brake_by_wire, " +

@@ -19,9 +19,17 @@
 // obligations, oversubscribed resource budgets and a dead relay chain —
 // and exports the combined report as SARIF 2.1.0 (model_lint.sarif, or the
 // path given as argv[1]) for CI code-scanning upload.
+//
+// Part 4 is the fault-detectability gate (V13..V15): the brake-by-wire
+// campaign workload is fail-silent on a producer crash (V13) because its
+// periodic guarantees have no watchdog alive supervision (V15); moved to an
+// event-triggered bus its babbling idiot becomes detectable-but-never-
+// containable (V14); and binding alive supervision — one DeploymentPlan
+// flag — clears V13/V15. Exit-enforced like Part 3.
 #include <cstdio>
 
 #include "contracts/contract.hpp"
+#include "fi/workloads.hpp"
 #include "rv/trace_export.hpp"
 #include "sim/time.hpp"
 #include "validation/sarif.hpp"
@@ -346,5 +354,40 @@ int main(int argc, char** argv) {
                          !chain_report.by_rule("V11").empty() &&
                          !chain_report.by_rule("V12").empty();
   std::printf("all whole-program rules fired: %s\n", all_fired ? "yes" : "no");
-  return all_fired ? 0 : 1;
+
+  // --- Part 4: fault detectability & fail-silence (V13..V15) -----------------
+  // The campaign workload, as shipped: periodic pedal guarantees, no alive
+  // supervision. The crash of the pedal is fail-silent (V13) and every
+  // periodic sender flow lacks a watchdog binding (V15).
+  const fi::ModelBundle unsupervised = fi::workloads::brake_by_wire();
+  const auto fail_silent =
+      validation::validate(unsupervised.model, unsupervised.plan);
+  print_report("campaign workload, no alive supervision (V13/V15)",
+               fail_silent);
+
+  // Same model on an event-triggered bus: TDMA slotting no longer contains
+  // the babbling idiot structurally, so it becomes detectable — but every
+  // observing monitor blames a victim, never the rogue node (V14).
+  fi::ModelBundle on_can = fi::workloads::brake_by_wire();
+  on_can.plan.bus = vfb::BusKind::kCan;
+  const auto babbler = validation::validate(on_can.model, on_can.plan);
+  std::printf("babbler containment gap on CAN (V14): %zu finding(s)\n\n",
+              babbler.by_rule("V14").size());
+
+  // The one-flag fix: DeploymentPlan::alive_supervision binds per-ECU
+  // watchdog alive supervision from the contract periods; the crash plane
+  // becomes observable and V13/V15 clear.
+  const fi::ModelBundle supervised = fi::workloads::brake_by_wire(true);
+  const auto watched =
+      validation::validate(supervised.model, supervised.plan);
+  print_report("same workload, watchdog alive supervision bound", watched);
+
+  const bool detectability_gate = !fail_silent.by_rule("V13").empty() &&
+                                  !fail_silent.by_rule("V15").empty() &&
+                                  !babbler.by_rule("V14").empty() &&
+                                  watched.by_rule("V13").empty() &&
+                                  watched.by_rule("V15").empty();
+  std::printf("crash fail-silent without watchdog, fixed by one flag: %s\n",
+              detectability_gate ? "yes" : "no");
+  return (all_fired && detectability_gate) ? 0 : 1;
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Cross-PR trend check for the E9b fault-injection detection rate.
+
+Compares the current BENCH_e9_fi_coverage.json summary against the most
+recent artifact of the same name uploaded by a successful CI run on the
+default branch, and fails (exit 1) when the detection rate regresses below
+the previous run's floor minus a small tolerance. The absolute floor in
+bench_e9 itself (60 %) still applies; this check additionally pins the
+*achieved* rate so a silently lost monitor plane cannot hide above the
+static floor.
+
+Designed to degrade gracefully: when no token, no API access, or no prior
+artifact is available (first run, forked PR), the check is skipped with a
+notice rather than failing the pipeline. Stdlib only (urllib), no pip.
+
+Usage:
+    coverage_trend.py CURRENT_JSON [--repo owner/name] [--branch main]
+                      [--artifact BENCH_e9_fi_coverage] [--tolerance 2.0]
+
+Environment:
+    GITHUB_TOKEN       token for the GitHub API (actions: read).
+    GITHUB_REPOSITORY  default for --repo (set by GitHub Actions).
+"""
+
+import argparse
+import io
+import json
+import os
+import sys
+import urllib.error
+import urllib.request
+import zipfile
+
+API = "https://api.github.com"
+
+
+def skip(reason):
+    print(f"coverage-trend: SKIP ({reason})")
+    sys.exit(0)
+
+
+def api_get(url, token):
+    req = urllib.request.Request(url)
+    req.add_header("Accept", "application/vnd.github+json")
+    req.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.read()
+
+
+def detected_pct(report):
+    """summary.detected_pct from a bench_util JsonReport document
+    ({"bench": ..., "rows": [{"table": "summary", ...}, ...]})."""
+    for row in report.get("rows", []):
+        if row.get("table") == "summary" and "detected_pct" in row:
+            return float(row["detected_pct"])
+    raise KeyError("summary.detected_pct missing")
+
+
+def previous_report(repo, branch, artifact_name, token):
+    """The artifact JSON from the newest successful run on `branch`."""
+    runs = json.loads(
+        api_get(
+            f"{API}/repos/{repo}/actions/runs"
+            f"?branch={branch}&status=success&per_page=20",
+            token,
+        )
+    )
+    for run in runs.get("workflow_runs", []):
+        arts = json.loads(
+            api_get(run["artifacts_url"] + "?per_page=50", token)
+        )
+        for art in arts.get("artifacts", []):
+            if art["name"] != artifact_name or art.get("expired"):
+                continue
+            blob = api_get(art["archive_download_url"], token)
+            with zipfile.ZipFile(io.BytesIO(blob)) as zf:
+                for member in zf.namelist():
+                    if member.endswith(".json"):
+                        return json.loads(zf.read(member)), run["html_url"]
+    return None, None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current", help="path to the freshly produced JSON")
+    ap.add_argument("--repo", default=os.environ.get("GITHUB_REPOSITORY"))
+    ap.add_argument("--branch", default="main")
+    ap.add_argument("--artifact", default="BENCH_e9_fi_coverage")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed drop in detected_pct vs the previous run "
+        "(absorbs per-seed noise in the stochastic faults)",
+    )
+    args = ap.parse_args()
+
+    with open(args.current, encoding="utf-8") as f:
+        current = detected_pct(json.load(f))
+
+    token = os.environ.get("GITHUB_TOKEN")
+    if not token:
+        skip("no GITHUB_TOKEN")
+    if not args.repo:
+        skip("no repository name")
+
+    try:
+        prev_report, run_url = previous_report(
+            args.repo, args.branch, args.artifact, token
+        )
+    except (urllib.error.URLError, OSError, ValueError, KeyError) as e:
+        skip(f"API unavailable: {e}")
+    if prev_report is None:
+        skip(f"no previous '{args.artifact}' artifact on {args.branch}")
+
+    try:
+        previous = detected_pct(prev_report)
+    except (KeyError, ValueError) as e:
+        skip(f"previous artifact unreadable: {e}")
+
+    floor = previous - args.tolerance
+    verdict = "PASS" if current >= floor else "FAIL"
+    print(
+        f"coverage-trend: current={current:.1f}% previous={previous:.1f}% "
+        f"(from {run_url}) floor={floor:.1f}% -> {verdict}"
+    )
+    sys.exit(0 if current >= floor else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,7 @@ unsigned detector_of(std::string_view violation_kind) {
   if (violation_kind == "latency") return kDetLatency;
   if (violation_kind == "range") return kDetRange;
   if (violation_kind == "automaton") return kDetAutomaton;
+  if (violation_kind == "alive") return kDetAlive;
   return 0;
 }
 
@@ -62,6 +63,8 @@ std::string_view detector_name(unsigned bit) {
       return "dem";
     case kDetMode:
       return "mode";
+    case kDetAlive:
+      return "alive";
     default:
       return "?";
   }

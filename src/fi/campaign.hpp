@@ -88,8 +88,10 @@ enum Detector : unsigned {
   kDetAutomaton = 1u << 4,
   kDetDem = 1u << 5,   ///< A contract DTC matured.
   kDetMode = 1u << 6,  ///< The degraded mode was entered.
+  kDetAlive = 1u << 7,  ///< Watchdog alive supervision expired (fail-silence
+                        ///< detection; needs DeploymentPlan::alive_supervision).
 };
-inline constexpr unsigned kDetectorCount = 7;
+inline constexpr unsigned kDetectorCount = 8;
 
 /// Monitor detector bit for a Violation::kind ("period"/"jitter" ->
 /// kDetArrival, "deadline"/"response" -> kDetDeadline, ...; 0 for unknown).

@@ -12,7 +12,7 @@
 
 namespace orte::fi::workloads {
 
-ModelBundle brake_by_wire() {
+ModelBundle brake_by_wire(bool alive_supervision) {
   ModelBundle bundle;
   vfb::Composition& model = bundle.model;
 
@@ -87,28 +87,32 @@ ModelBundle brake_by_wire() {
   plan.instances["wheel_rl"] = {.ecu = "rl_ecu"};
   plan.instances["wheel_rr"] = {.ecu = "rr_ecu"};
   plan.recovery_mode = "RUN";
+  plan.alive_supervision = alive_supervision;
   return bundle;
 }
 
+std::vector<Fault> standard_faults() {
+  return {
+      {.kind = FaultKind::kFrameDrop, .probability = 0.4},
+      {.kind = FaultKind::kFrameCorrupt, .probability = 0.6, .value = 0x40},
+      {.kind = FaultKind::kBabblingIdiot},
+      {.kind = FaultKind::kStuckAt, .target = "pedal.out.pos", .value = 4000},
+      {.kind = FaultKind::kValueCorrupt,
+       .target = "pedal.out.pos",
+       .probability = 0.5,
+       .value = 0xF000},
+      {.kind = FaultKind::kWcetOverrun, .target = "pedal", .magnitude = 80.0},
+      {.kind = FaultKind::kExecutionJitter,
+       .target = "pedal",
+       .magnitude = 0.9},
+      {.kind = FaultKind::kClockDrift,
+       .target = "pedal_ecu",
+       .magnitude = 50000.0},
+  };
+}
+
 void add_standard_faults(Campaign& campaign) {
-  campaign.add_fault({.kind = FaultKind::kFrameDrop, .probability = 0.4});
-  campaign.add_fault(
-      {.kind = FaultKind::kFrameCorrupt, .probability = 0.6, .value = 0x40});
-  campaign.add_fault({.kind = FaultKind::kBabblingIdiot});
-  campaign.add_fault(
-      {.kind = FaultKind::kStuckAt, .target = "pedal.out.pos", .value = 4000});
-  campaign.add_fault({.kind = FaultKind::kValueCorrupt,
-                      .target = "pedal.out.pos",
-                      .probability = 0.5,
-                      .value = 0xF000});
-  campaign.add_fault(
-      {.kind = FaultKind::kWcetOverrun, .target = "pedal", .magnitude = 80.0});
-  campaign.add_fault({.kind = FaultKind::kExecutionJitter,
-                      .target = "pedal",
-                      .magnitude = 0.9});
-  campaign.add_fault({.kind = FaultKind::kClockDrift,
-                      .target = "pedal_ecu",
-                      .magnitude = 50000.0});
+  for (auto& fault : standard_faults()) campaign.add_fault(std::move(fault));
 }
 
 }  // namespace orte::fi::workloads

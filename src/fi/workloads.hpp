@@ -14,7 +14,12 @@ namespace orte::fi::workloads {
 /// range), value faults (sender-side range), timing faults (arrival /
 /// deadline) and clock drift (latency starvation) are all observable.
 /// Thread-safe: every call builds a fully fresh bundle.
-[[nodiscard]] ModelBundle brake_by_wire();
+///
+/// `alive_supervision` additionally binds watchdog alive supervision from
+/// the contract periods (DeploymentPlan::alive_supervision): the variant in
+/// which the pedal's fail-silent crash is detectable (kind "alive"), i.e.
+/// the workload with validation rules V13/V15 fixed.
+[[nodiscard]] ModelBundle brake_by_wire(bool alive_supervision = false);
 
 /// The canonical brake_by_wire fault grid: one representative per fault
 /// kind that the workload can express (8 faults — kFrameDelay is omitted
@@ -22,6 +27,9 @@ namespace orte::fi::workloads {
 /// stochastic ones so replicates genuinely exercise per-scenario RNG
 /// streams. Shared by test_fi, bench_e9_fi_coverage and the CI smoke
 /// campaign so all three score the same fault space.
+[[nodiscard]] std::vector<Fault> standard_faults();
+
+/// Append standard_faults() to a campaign.
 void add_standard_faults(Campaign& campaign);
 
 }  // namespace orte::fi::workloads

@@ -33,7 +33,7 @@ struct Violation {
   std::string contract;  ///< Contract id (or implicit rule id, "rm.<task>").
   std::string subject;   ///< Subject path: flow key, task or instance name.
   std::string kind;      ///< "period" | "jitter" | "deadline" | "response" |
-                         ///< "latency" | "range" | "automaton".
+                         ///< "latency" | "range" | "automaton" | "alive".
   std::int64_t observed = 0;  ///< Measured value (ns for timing kinds).
   std::int64_t bound = 0;     ///< Contracted bound it exceeded.
   sim::Time when = 0;

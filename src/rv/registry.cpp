@@ -178,6 +178,10 @@ void MonitorRegistry::on_violation(ViolationCallback cb) {
   callbacks_.push_back(std::move(cb));
 }
 
+void MonitorRegistry::report_external(const Violation& violation) {
+  handle(violation);
+}
+
 void MonitorRegistry::sync_observations(const std::string& contract,
                                         const ContractCtx& ctx) {
   std::uint64_t total = 0;

@@ -105,6 +105,12 @@ class MonitorRegistry {
   void set_warmup(std::uint64_t min_observations);
   void on_violation(ViolationCallback cb);
 
+  /// Feed a violation raised OUTSIDE the trace-routed monitors into the
+  /// registry pipeline (health stats, DEM reporting, callbacks, escalation)
+  /// — the fan-in for detectors that are not trace observers, e.g. watchdog
+  /// alive supervision (vfb::System reports expiries as kind "alive").
+  void report_external(const Violation& violation);
+
   // --- Evaluation -----------------------------------------------------------
   /// Close one evaluation window: pull every monitor's observation count
   /// into the health report, report each known contract to the DEM (failed

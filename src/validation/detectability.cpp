@@ -1,0 +1,753 @@
+#include "validation/detectability.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace orte::validation {
+
+namespace {
+
+using contracts::Contract;
+using contracts::FlowSpec;
+using vfb::ComponentInstance;
+using vfb::ComponentType;
+using vfb::Connector;
+using vfb::DataAccessKind;
+using vfb::DeploymentPlan;
+using vfb::Port;
+using vfb::PortDirection;
+using vfb::PortInterface;
+using vfb::Runnable;
+using vfb::RunnableTrigger;
+
+using ContractMap = std::map<std::string, Contract, std::less<>>;
+
+bool is_write(DataAccessKind k) {
+  return k == DataAccessKind::kImplicitWrite ||
+         k == DataAccessKind::kExplicitWrite;
+}
+
+std::string dot(std::string_view a, std::string_view b, std::string_view c) {
+  std::string out(a);
+  out += '.';
+  out += b;
+  out += '.';
+  out += c;
+  return out;
+}
+
+std::string slot_key(std::string_view instance, std::string_view port,
+                     std::string_view element) {
+  return dot(instance, port, element);
+}
+
+std::string first_segment(std::string_view key) {
+  return std::string(key.substr(0, key.find('.')));
+}
+
+const ComponentType* type_of(const vfb::Composition& model,
+                             const std::string& instance) {
+  const ComponentInstance* inst = model.find_instance(instance);
+  return inst == nullptr ? nullptr : model.find_type(inst->type);
+}
+
+const Port* find_port(const ComponentType& type, std::string_view name) {
+  for (const auto& p : type.ports) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const PortInterface* sr_interface(const vfb::Composition& model,
+                                  const std::string& instance,
+                                  const std::string& port,
+                                  const Port** port_out = nullptr) {
+  const ComponentType* type = type_of(model, instance);
+  if (type == nullptr) return nullptr;
+  const Port* p = find_port(*type, port);
+  if (p == nullptr) return nullptr;
+  const PortInterface* iface = model.find_interface(p->interface);
+  if (iface == nullptr || iface->kind != PortInterface::Kind::kSenderReceiver) {
+    return nullptr;
+  }
+  if (port_out != nullptr) *port_out = p;
+  return iface;
+}
+
+struct SplitFlow {
+  std::string port;
+  std::string element;
+};
+SplitFlow split_flow(const std::string& flow) {
+  const auto d = flow.find('.');
+  if (d == std::string::npos) return {flow, {}};
+  return {flow.substr(0, d), flow.substr(d + 1)};
+}
+
+/// Model-only mirror of System::resolve_flow (see flow_analysis.cpp): the
+/// "rte.write" sender keys a contract flow of `instance` resolves to.
+std::vector<std::string> resolve_flow(const vfb::Composition& model,
+                                      const std::string& instance,
+                                      const std::string& flow) {
+  const SplitFlow f = split_flow(flow);
+  const Port* p = nullptr;
+  const PortInterface* iface = sr_interface(model, instance, f.port, &p);
+  if (iface == nullptr) return {};
+
+  std::string src_instance = instance;
+  std::string src_port = f.port;
+  if (p->direction == PortDirection::kRequired) {
+    const Connector* conn = model.connection_to(instance, f.port);
+    if (conn == nullptr) return {};
+    src_instance = conn->from_instance;
+    src_port = conn->from_port;
+  }
+  std::vector<std::string> subjects;
+  for (const auto& elem : iface->elements) {
+    if (!f.element.empty() && elem.name != f.element) continue;
+    subjects.push_back(slot_key(src_instance, src_port, elem.name));
+  }
+  return subjects;
+}
+
+/// Mirror of System::resolve_flow_endpoints: (producer key, receiver key)
+/// pairs for a required-port flow.
+struct FlowEndpoint {
+  std::string producer_key;
+  std::string receiver_key;
+};
+std::vector<FlowEndpoint> resolve_flow_endpoints(const vfb::Composition& model,
+                                                 const std::string& instance,
+                                                 const std::string& flow) {
+  const SplitFlow f = split_flow(flow);
+  const Port* p = nullptr;
+  const PortInterface* iface = sr_interface(model, instance, f.port, &p);
+  if (iface == nullptr || p->direction != PortDirection::kRequired) return {};
+  const Connector* conn = model.connection_to(instance, f.port);
+  if (conn == nullptr) return {};
+  std::vector<FlowEndpoint> endpoints;
+  for (const auto& elem : iface->elements) {
+    if (!f.element.empty() && elem.name != f.element) continue;
+    endpoints.push_back(
+        {slot_key(conn->from_instance, conn->from_port, elem.name),
+         slot_key(instance, f.port, elem.name)});
+  }
+  return endpoints;
+}
+
+bool range_constrained(const contracts::Interval& range) {
+  return range.lo != INT64_MIN || range.hi != INT64_MAX;
+}
+
+/// Sender-key match mirroring the fi injector: exact key, or instance
+/// prefix followed by '.'. An empty target matches everything.
+bool key_matches(const std::string& target, std::string_view key) {
+  if (target.empty() || key == target) return true;
+  return key.size() > target.size() &&
+         key.compare(0, target.size(), target) == 0 &&
+         key[target.size()] == '.';
+}
+
+/// Local fault label (fi::Fault::label lives in the fi library, which sits
+/// above validation in the link order — the analysis renders its own).
+std::string fault_label(const fi::Fault& f) {
+  std::string_view kind;
+  switch (f.kind) {
+    case fi::FaultKind::kFrameDrop:
+      kind = "frame_drop";
+      break;
+    case fi::FaultKind::kFrameCorrupt:
+      kind = "frame_corrupt";
+      break;
+    case fi::FaultKind::kFrameDelay:
+      kind = "frame_delay";
+      break;
+    case fi::FaultKind::kBabblingIdiot:
+      kind = "babbling_idiot";
+      break;
+    case fi::FaultKind::kValueCorrupt:
+      kind = "value_corrupt";
+      break;
+    case fi::FaultKind::kStuckAt:
+      kind = "stuck_at";
+      break;
+    case fi::FaultKind::kTaskCrash:
+      kind = "crash";
+      break;
+    case fi::FaultKind::kWcetOverrun:
+      kind = "wcet_overrun";
+      break;
+    case fi::FaultKind::kExecutionJitter:
+      kind = "exec_jitter";
+      break;
+    case fi::FaultKind::kClockDrift:
+      kind = "clock_drift";
+      break;
+  }
+  std::string out(kind);
+  out += ':';
+  out += f.target.empty() ? "*" : f.target;
+  return out;
+}
+
+// --- Perturbation atoms -------------------------------------------------------
+
+/// One perturbed observable. The kinds partition what the trace can show:
+/// a fault and a monitor meet exactly when they name the same atom.
+struct Atom {
+  enum class Kind {
+    kWriteValue,    ///< The value published under a sender key changes.
+    kWriteTiming,   ///< The instants of writes under a sender key shift.
+    kWriteAbsence,  ///< Writes under a sender key stop entirely.
+    kDeliverValue,  ///< The value arriving at a receiver slot changes.
+    kDelivery,      ///< Delivery along one connector edge is lost/late.
+    kTaskTiming,    ///< An instance's task timing records degrade.
+  };
+  Kind kind;
+  std::string key;
+
+  auto operator<=>(const Atom&) const = default;
+};
+
+std::string render(const Atom& a) {
+  std::string_view prefix;
+  switch (a.kind) {
+    case Atom::Kind::kWriteValue:
+      prefix = "write-value ";
+      break;
+    case Atom::Kind::kWriteTiming:
+      prefix = "write-timing ";
+      break;
+    case Atom::Kind::kWriteAbsence:
+      prefix = "write-absence ";
+      break;
+    case Atom::Kind::kDeliverValue:
+      prefix = "deliver-value ";
+      break;
+    case Atom::Kind::kDelivery:
+      prefix = "delivery ";
+      break;
+    case Atom::Kind::kTaskTiming:
+      prefix = "task-timing ";
+      break;
+  }
+  return std::string(prefix) + a.key;
+}
+
+// --- World model --------------------------------------------------------------
+
+/// One connector edge at element granularity, with deployment context.
+struct Edge {
+  std::string producer_key;  ///< Sender slot key ("rte.write" subject).
+  std::string receiver_key;  ///< Receiver slot key ("rte.deliver" subject).
+  std::string src_instance;
+  std::string dst_instance;
+  std::string src_ecu;  ///< Empty when the producer is not deployed.
+  std::string dst_ecu;
+  bool cross_ecu = false;
+};
+
+/// Read/write slot footprint of one runnable (mirror of the V8 graph).
+struct RunnableIo {
+  std::string instance;
+  bool periodic = false;
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
+struct World {
+  std::vector<Edge> edges;
+  std::vector<RunnableIo> runnables;
+  /// Instance -> every sender slot key its runnables write.
+  std::map<std::string, std::set<std::string>> writes_of;
+  /// Instances with at least one timing-triggered runnable.
+  std::set<std::string> periodic_instances;
+};
+
+World build_world(const vfb::Composition& model, const DeploymentPlan& plan) {
+  World w;
+  for (const auto& inst : model.instances()) {
+    const ComponentType* type = type_of(model, inst.name);
+    if (type == nullptr) continue;
+    for (const auto& r : type->runnables) {
+      RunnableIo io;
+      io.instance = inst.name;
+      io.periodic = r.trigger.kind == RunnableTrigger::Kind::kTiming;
+      if (io.periodic) w.periodic_instances.insert(inst.name);
+      for (const auto& acc : r.accesses) {
+        const std::string key = slot_key(inst.name, acc.port, acc.element);
+        if (is_write(acc.kind)) {
+          io.writes.push_back(key);
+          w.writes_of[inst.name].insert(key);
+        } else {
+          io.reads.push_back(key);
+        }
+      }
+      if (r.trigger.kind == RunnableTrigger::Kind::kDataReceived) {
+        io.reads.push_back(
+            slot_key(inst.name, r.trigger.port, r.trigger.element));
+      }
+      w.runnables.push_back(std::move(io));
+    }
+  }
+  const auto ecu_of = [&plan](const std::string& instance) -> std::string {
+    const auto it = plan.instances.find(instance);
+    return it == plan.instances.end() ? std::string() : it->second.ecu;
+  };
+  for (const auto& c : model.connectors()) {
+    const PortInterface* iface =
+        sr_interface(model, c.from_instance, c.from_port);
+    if (iface == nullptr) continue;
+    for (const auto& elem : iface->elements) {
+      Edge e;
+      e.producer_key = slot_key(c.from_instance, c.from_port, elem.name);
+      e.receiver_key = slot_key(c.to_instance, c.to_port, elem.name);
+      e.src_instance = c.from_instance;
+      e.dst_instance = c.to_instance;
+      e.src_ecu = ecu_of(c.from_instance);
+      e.dst_ecu = ecu_of(c.to_instance);
+      e.cross_ecu =
+          !e.src_ecu.empty() && !e.dst_ecu.empty() && e.src_ecu != e.dst_ecu;
+      w.edges.push_back(std::move(e));
+    }
+  }
+  return w;
+}
+
+// --- Monitor inventory --------------------------------------------------------
+
+/// A compiled plane plus the atom it observes.
+struct Plane {
+  MonitorPlane pub;
+  Atom atom;
+};
+
+std::vector<Plane> build_planes(const vfb::Composition& model,
+                                const DeploymentPlan& plan,
+                                const ContractMap& contracts, const World& w) {
+  std::vector<Plane> planes;
+  const auto add = [&planes](MonitorPlane::Kind kind, std::string contract,
+                             Atom atom, std::string blame) {
+    planes.push_back(Plane{MonitorPlane{kind, std::move(contract),
+                                        render(atom), std::move(blame)},
+                           std::move(atom)});
+  };
+
+  // (1) Deadline monitors: one per generated *periodic* task (event tasks
+  // get a monitor too, but with no period there is no bound to miss).
+  for (const auto& instance : w.periodic_instances) {
+    const auto cit = contracts.find(instance);
+    add(MonitorPlane::Kind::kDeadline,
+        cit == contracts.end() ? "tk|" + instance : cit->second.name,
+        Atom{Atom::Kind::kTaskTiming, instance}, instance);
+  }
+
+  for (const auto& [instance, contract] : contracts) {
+    // (2) Arrival monitors: periodic guarantees watch write timing.
+    for (const auto& g : contract.guarantees) {
+      if (g.timing.period <= 0) continue;
+      for (const auto& key : resolve_flow(model, instance, g.flow)) {
+        add(MonitorPlane::Kind::kArrival, contract.name,
+            Atom{Atom::Kind::kWriteTiming, key}, first_segment(key));
+      }
+    }
+    // (2b) Guarantee-side range monitors watch written values.
+    for (const auto& g : contract.guarantees) {
+      if (!range_constrained(g.range)) continue;
+      for (const auto& key : resolve_flow(model, instance, g.flow)) {
+        add(MonitorPlane::Kind::kRangeWrite, contract.name,
+            Atom{Atom::Kind::kWriteValue, key}, first_segment(key));
+      }
+    }
+    // (2c) Assumption-side range monitors watch delivered values and blame
+    // the feeding producer.
+    for (const auto& a : contract.assumptions) {
+      if (!range_constrained(a.range)) continue;
+      for (const auto& ep : resolve_flow_endpoints(model, instance, a.flow)) {
+        add(MonitorPlane::Kind::kRangeDeliver, contract.name,
+            Atom{Atom::Kind::kDeliverValue, ep.receiver_key},
+            first_segment(ep.producer_key));
+      }
+    }
+    // (3) Latency monitors watch one delivery edge (producer write ->
+    // consumer activation) and blame the producer.
+    for (const auto& a : contract.assumptions) {
+      if (a.timing.latency <= 0) continue;
+      for (const auto& key : resolve_flow(model, instance, a.flow)) {
+        add(MonitorPlane::Kind::kLatency, contract.name,
+            Atom{Atom::Kind::kDelivery, key + " -> " + instance},
+            first_segment(key));
+      }
+    }
+    // (4) Automaton observers consume write events of the bound flows: a
+    // perturbed value or shifted timing can break the word.
+    if (contract.behaviour.has_value()) {
+      for (const auto& binding : contract.behaviour->bindings) {
+        for (const auto& key : resolve_flow(model, instance, binding.flow)) {
+          add(MonitorPlane::Kind::kAutomaton, contract.name,
+              Atom{Atom::Kind::kWriteValue, key}, first_segment(key));
+          add(MonitorPlane::Kind::kAutomaton, contract.name,
+              Atom{Atom::Kind::kWriteTiming, key}, first_segment(key));
+        }
+      }
+    }
+    // (5) Alive supervision (System::build_alive_supervision): when the plan
+    // opts in, every periodic guarantee key is watchdog-supervised — the
+    // only plane that observes the *absence* of writes.
+    if (plan.alive_supervision) {
+      for (const auto& g : contract.guarantees) {
+        if (g.timing.period <= 0) continue;
+        for (const auto& key : resolve_flow(model, instance, g.flow)) {
+          add(MonitorPlane::Kind::kAlive, contract.name,
+              Atom{Atom::Kind::kWriteAbsence, key}, first_segment(key));
+        }
+      }
+    }
+  }
+  return planes;
+}
+
+// --- Fault -> perturbation set ------------------------------------------------
+
+/// Value-perturbation fixpoint over the V8 relay structure: a perturbed
+/// sender key perturbs every receiver slot its edges feed; a runnable
+/// reading a perturbed slot perturbs everything it writes.
+void propagate_values(const World& w, std::set<std::string>& writes,
+                      std::set<std::string>& delivers) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : w.edges) {
+      if (writes.count(e.producer_key) != 0 &&
+          delivers.insert(e.receiver_key).second) {
+        changed = true;
+      }
+    }
+    for (const auto& rf : w.runnables) {
+      const bool tainted_read =
+          std::any_of(rf.reads.begin(), rf.reads.end(),
+                      [&delivers](const std::string& r) {
+                        return delivers.count(r) != 0;
+                      });
+      if (!tainted_read) continue;
+      for (const auto& wkey : rf.writes) {
+        if (writes.insert(wkey).second) changed = true;
+      }
+    }
+  }
+}
+
+std::set<Atom> perturbation_of(const fi::Fault& f, const World& w,
+                               const DeploymentPlan& plan) {
+  std::set<Atom> atoms;
+  const auto add_delivery = [&atoms](const Edge& e) {
+    atoms.insert(
+        Atom{Atom::Kind::kDelivery, e.producer_key + " -> " + e.dst_instance});
+  };
+  switch (f.kind) {
+    case fi::FaultKind::kFrameDrop:
+    case fi::FaultKind::kFrameDelay:
+      // Frames exist only on cross-ECU edges; the target is a frame-name
+      // substring which the model mirror approximates against the producer
+      // key ("" = every frame).
+      for (const auto& e : w.edges) {
+        if (e.cross_ecu && (f.target.empty() ||
+                            e.producer_key.find(f.target) != std::string::npos)) {
+          add_delivery(e);
+        }
+      }
+      break;
+    case fi::FaultKind::kFrameCorrupt: {
+      std::set<std::string> writes;
+      std::set<std::string> delivers;
+      for (const auto& e : w.edges) {
+        if (e.cross_ecu && (f.target.empty() ||
+                            e.producer_key.find(f.target) != std::string::npos)) {
+          delivers.insert(e.receiver_key);
+        }
+      }
+      propagate_values(w, writes, delivers);
+      for (const auto& k : writes) {
+        atoms.insert(Atom{Atom::Kind::kWriteValue, k});
+      }
+      for (const auto& k : delivers) {
+        atoms.insert(Atom{Atom::Kind::kDeliverValue, k});
+      }
+      break;
+    }
+    case fi::FaultKind::kBabblingIdiot:
+      // On an arbitrated bus the flood starves every real frame; TDMA buses
+      // contain the babbler structurally (static slots) — it perturbs
+      // NOTHING a component-level monitor could see.
+      if (plan.bus == vfb::BusKind::kCan) {
+        for (const auto& e : w.edges) {
+          if (e.cross_ecu) add_delivery(e);
+        }
+      }
+      break;
+    case fi::FaultKind::kValueCorrupt:
+    case fi::FaultKind::kStuckAt: {
+      std::set<std::string> writes;
+      std::set<std::string> delivers;
+      for (const auto& [instance, keys] : w.writes_of) {
+        for (const auto& key : keys) {
+          if (key_matches(f.target, key)) writes.insert(key);
+        }
+      }
+      propagate_values(w, writes, delivers);
+      for (const auto& k : writes) {
+        atoms.insert(Atom{Atom::Kind::kWriteValue, k});
+      }
+      for (const auto& k : delivers) {
+        atoms.insert(Atom{Atom::Kind::kDeliverValue, k});
+      }
+      break;
+    }
+    case fi::FaultKind::kTaskCrash: {
+      // Fail-silence: a dead producer emits NO observable — no late write,
+      // no bad value, no deadline record. The only perturbation is the
+      // absence of its writes, which only alive supervision can sense.
+      const auto it = w.writes_of.find(f.target);
+      if (it != w.writes_of.end()) {
+        for (const auto& key : it->second) {
+          atoms.insert(Atom{Atom::Kind::kWriteAbsence, key});
+        }
+      }
+      break;
+    }
+    case fi::FaultKind::kWcetOverrun:
+    case fi::FaultKind::kExecutionJitter: {
+      atoms.insert(Atom{Atom::Kind::kTaskTiming, f.target});
+      const auto it = w.writes_of.find(f.target);
+      if (it != w.writes_of.end()) {
+        for (const auto& key : it->second) {
+          atoms.insert(Atom{Atom::Kind::kWriteTiming, key});
+        }
+      }
+      for (const auto& e : w.edges) {
+        if (e.src_instance == f.target) add_delivery(e);
+      }
+      break;
+    }
+    case fi::FaultKind::kClockDrift:
+      for (const auto& e : w.edges) {
+        if (e.cross_ecu && e.src_ecu == f.target) add_delivery(e);
+      }
+      break;
+  }
+  return atoms;
+}
+
+// --- Containment domain mirror ------------------------------------------------
+
+struct Domain {
+  bool everything = false;
+  std::set<std::string> instances;
+
+  [[nodiscard]] bool contains(const std::string& instance) const {
+    return everything || instances.count(instance) != 0;
+  }
+};
+
+Domain domain_of(const fi::Fault& f, const DeploymentPlan& plan) {
+  Domain d;
+  switch (f.kind) {
+    case fi::FaultKind::kFrameDrop:
+    case fi::FaultKind::kFrameCorrupt:
+    case fi::FaultKind::kFrameDelay:
+      d.everything = true;
+      break;
+    case fi::FaultKind::kBabblingIdiot:
+      break;  // the rogue node is not a component: empty domain
+    case fi::FaultKind::kValueCorrupt:
+    case fi::FaultKind::kStuckAt:
+      d.instances.insert(first_segment(f.target));
+      break;
+    case fi::FaultKind::kTaskCrash:
+    case fi::FaultKind::kWcetOverrun:
+    case fi::FaultKind::kExecutionJitter:
+      d.instances.insert(f.target);
+      break;
+    case fi::FaultKind::kClockDrift:
+      for (const auto& [instance, dep] : plan.instances) {
+        if (dep.ecu == f.target) d.instances.insert(instance);
+      }
+      break;
+  }
+  return d;
+}
+
+FaultVerdict judge(const fi::Fault& f, const World& w,
+                   const DeploymentPlan& plan,
+                   const std::vector<Plane>& planes) {
+  FaultVerdict v;
+  v.fault = f;
+  v.label = fault_label(f);
+  const std::set<Atom> atoms = perturbation_of(f, w, plan);
+  v.perturbs = !atoms.empty();
+  const Domain domain = domain_of(f, plan);
+  bool any_in_domain = false;
+  bool all_in_domain = true;
+  for (const auto& p : planes) {
+    if (atoms.count(p.atom) == 0) continue;
+    v.observers.push_back(p.pub);
+    if (domain.contains(p.pub.blame)) {
+      any_in_domain = true;
+    } else {
+      all_in_domain = false;
+    }
+  }
+  v.detectable = !v.observers.empty();
+  v.containment_gap = v.detectable && !any_in_domain;
+  v.contained = v.detectable && all_in_domain;
+  return v;
+}
+
+/// The canonical per-model fault inventory check_detectability judges: one
+/// representative per plane the deployment can physically express.
+std::vector<fi::Fault> canonical_faults(const ContractMap& contracts,
+                                        const World& w,
+                                        const vfb::Composition& model) {
+  std::vector<fi::Fault> faults;
+  const bool networked =
+      std::any_of(w.edges.begin(), w.edges.end(),
+                  [](const Edge& e) { return e.cross_ecu; });
+  if (networked) {
+    faults.push_back({.kind = fi::FaultKind::kFrameDrop});
+    faults.push_back({.kind = fi::FaultKind::kFrameCorrupt});
+    faults.push_back({.kind = fi::FaultKind::kBabblingIdiot});
+    std::set<std::string> sourcing_ecus;
+    for (const auto& e : w.edges) {
+      if (e.cross_ecu) sourcing_ecus.insert(e.src_ecu);
+    }
+    for (const auto& ecu : sourcing_ecus) {
+      faults.push_back({.kind = fi::FaultKind::kClockDrift, .target = ecu});
+    }
+  }
+  for (const auto& [instance, contract] : contracts) {
+    bool resolvable_guarantee = false;
+    for (const auto& g : contract.guarantees) {
+      if (!resolve_flow(model, instance, g.flow).empty()) {
+        resolvable_guarantee = true;
+      }
+      if (range_constrained(g.range)) {
+        for (const auto& key : resolve_flow(model, instance, g.flow)) {
+          faults.push_back(
+              {.kind = fi::FaultKind::kStuckAt, .target = key});
+        }
+      }
+    }
+    if (!resolvable_guarantee || w.writes_of.count(instance) == 0) continue;
+    faults.push_back({.kind = fi::FaultKind::kTaskCrash, .target = instance});
+    if (w.periodic_instances.count(instance) != 0) {
+      faults.push_back(
+          {.kind = fi::FaultKind::kWcetOverrun, .target = instance});
+    }
+  }
+  return faults;
+}
+
+}  // namespace
+
+std::string_view to_string(MonitorPlane::Kind kind) {
+  switch (kind) {
+    case MonitorPlane::Kind::kArrival:
+      return "arrival";
+    case MonitorPlane::Kind::kDeadline:
+      return "deadline";
+    case MonitorPlane::Kind::kLatency:
+      return "latency";
+    case MonitorPlane::Kind::kRangeWrite:
+      return "range-write";
+    case MonitorPlane::Kind::kRangeDeliver:
+      return "range-deliver";
+    case MonitorPlane::Kind::kAutomaton:
+      return "automaton";
+    case MonitorPlane::Kind::kAlive:
+      return "alive";
+  }
+  return "?";
+}
+
+DetectabilityAnalysis analyze_detectability(
+    const vfb::Composition& model, const vfb::DeploymentPlan& plan,
+    const std::map<std::string, contracts::Contract, std::less<>>& contracts,
+    const std::vector<fi::Fault>& faults) {
+  DetectabilityAnalysis out;
+  const World w = build_world(model, plan);
+  const std::vector<Plane> planes =
+      plan.runtime_verification ? build_planes(model, plan, contracts, w)
+                                : std::vector<Plane>{};
+  out.monitors.reserve(planes.size());
+  for (const auto& p : planes) out.monitors.push_back(p.pub);
+  out.verdicts.reserve(faults.size());
+  for (const auto& f : faults) {
+    out.verdicts.push_back(judge(f, w, plan, planes));
+  }
+  return out;
+}
+
+void check_detectability(
+    const vfb::Composition& model, const vfb::DeploymentPlan& plan,
+    const std::map<std::string, contracts::Contract, std::less<>>& contracts,
+    Diagnostics& out) {
+  // With the rv layer disabled NOTHING is detectable — V10 already flags
+  // obligations a disabled registry would orphan; repeating that per fault
+  // plane would be noise.
+  if (!plan.runtime_verification || contracts.empty()) return;
+
+  const World w = build_world(model, plan);
+  const std::vector<Plane> planes = build_planes(model, plan, contracts, w);
+  const std::vector<fi::Fault> faults = canonical_faults(contracts, w, model);
+
+  for (const auto& f : faults) {
+    const FaultVerdict v = judge(f, w, plan, planes);
+    if (v.perturbs && !v.detectable) {
+      const bool crash = f.kind == fi::FaultKind::kTaskCrash;
+      out.add("V13", Severity::kWarning, v.label,
+              "fault plane perturbs observable flows but no compiled runtime "
+              "monitor watches any of them — a campaign scores it missed",
+              crash ? "a crashed producer is fail-silent; set "
+                      "DeploymentPlan::alive_supervision = true to bind "
+                      "watchdog alive supervision from the contract periods"
+                    : "declare a range/period/latency obligation on an "
+                      "affected flow so a monitor is compiled for it");
+    }
+    if (v.containment_gap) {
+      out.add("V14", Severity::kWarning, v.label,
+              "fault is detectable, but every observing monitor blames an "
+              "instance outside the fault's containment domain — detection "
+              "can never score as contained",
+              "add an obligation whose violation blames the faulty domain "
+              "(e.g. a bus guardian / TDMA slotting for rogue nodes) or "
+              "accept the leak as a measured gap");
+    }
+  }
+
+  // V15: periodic guarantees imply a heartbeat; without alive supervision
+  // the producer's crash is invisible (the one-flag fix for V13's crash
+  // planes). One diagnostic per supervised-able sender key.
+  if (!plan.alive_supervision) {
+    std::set<std::string> flagged;
+    for (const auto& [instance, contract] : contracts) {
+      for (const auto& g : contract.guarantees) {
+        if (g.timing.period <= 0) continue;
+        for (const auto& key : resolve_flow(model, instance, g.flow)) {
+          if (!flagged.insert(key).second) continue;
+          out.add("V15", Severity::kWarning, key,
+                  "periodic guarantee " + contract.name + "." + g.flow +
+                      " implies a heartbeat, but no watchdog alive "
+                      "supervision is bound to it",
+                  "set DeploymentPlan::alive_supervision = true to "
+                  "supervise contract periods with bsw::WatchdogManager");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace orte::validation

@@ -74,6 +74,9 @@ std::string_view rule_description(std::string_view rule) {
       {"V10", "Contract obligations covered by runtime monitors"},
       {"V11", "Resource budgets vs vertical contract assumptions"},
       {"V12", "Dead or unreachable data flows in relay chains"},
+      {"V13", "Fault planes invisible to every compiled runtime monitor"},
+      {"V14", "Detectable faults no observing monitor blames in-domain"},
+      {"V15", "Periodic guarantees without watchdog alive supervision"},
   };
   const auto it = kRules.find(rule);
   return it == kRules.end() ? std::string_view("orte model validation rule")

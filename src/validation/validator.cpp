@@ -1,5 +1,6 @@
 #include "validation/validator.hpp"
 
+#include "validation/detectability.hpp"
 #include "validation/flow_analysis.hpp"
 
 #include <algorithm>
@@ -101,6 +102,7 @@ class Pass {
       if (plan_ != nullptr) {
         check_chain_deadlines(model_, *plan_, contracts_, out_);  // V9
         check_resource_budgets(model_, *plan_, contracts_, out_); // V11
+        check_detectability(model_, *plan_, contracts_, out_);    // V13-V15
       }
     }
     return std::move(out_);

@@ -66,6 +66,15 @@ struct DeploymentPlan {
   /// observers (zero simulated-time cost); opt out to shed the host-side
   /// dispatch overhead on monitoring-free measurement runs.
   bool runtime_verification = true;
+  /// Bind bsw::WatchdogManager alive supervision from contract periods: one
+  /// watchdog per ECU hosting periodic guarantees, each resolved sender key
+  /// supervised with a cycle of twice its largest contracted period, the
+  /// checkpoint fed by the key's `rte.write` records (quarantined-but-alive
+  /// producers still checkpoint through `rte.quarantine_drop`). Expiry is
+  /// reported into the rv registry as an "alive" violation — the fail-
+  /// silence detector the data-flow monitor planes cannot provide (a dead
+  /// producer emits nothing; see validation rules V13/V15).
+  bool alive_supervision = false;
   /// Mode the rv layer requests when the last contract DTC ages out after a
   /// degraded-mode escalation (the closed §2 loop: violate → degrade → heal
   /// → recover). Empty = return to whatever mode was current when the

@@ -370,6 +370,7 @@ void System::build() {
             .bounds;
   }
   if (plan_.runtime_verification) build_monitors();
+  if (plan_.alive_supervision) build_alive_supervision();
 
   // Warm the trace's intern tables with the categories and subjects the
   // generated system emits hottest, so every ID (and its slot in the count
@@ -645,6 +646,87 @@ void System::build_monitors() {
   registry_->recover_to(plan_.recovery_mode);
 }
 
+void System::build_alive_supervision() {
+  // Collect the supervised heartbeats: every periodic guarantee resolves to
+  // sender keys; each key is one watchdog entity on its producer's ECU. A
+  // key guaranteed at several periods is supervised at the LARGEST one (the
+  // weakest heartbeat every guarantee still implies).
+  struct Heartbeat {
+    std::string contract;
+    sim::Duration period = 0;
+  };
+  std::map<std::string, std::map<std::string, Heartbeat>> per_ecu;
+  for (const auto& [instance, contract] : model_.bound_contracts()) {
+    for (const auto& g : contract.guarantees) {
+      if (g.timing.period <= 0) continue;
+      for (const auto& key : resolve_flow(instance, g.flow)) {
+        const std::string producer = key.substr(0, key.find('.'));
+        const auto dep = plan_.instances.find(producer);
+        if (dep == plan_.instances.end()) continue;
+        Heartbeat& hb = per_ecu[dep->second.ecu][key];
+        if (g.timing.period > hb.period) {
+          hb.period = g.timing.period;
+          hb.contract = contract.name;
+        }
+      }
+    }
+  }
+  if (per_ecu.empty()) return;
+
+  for (auto& [ecu_name, keys] : per_ecu) {
+    // Supervision cycle: twice the slowest supervised period on the ECU, so
+    // every nominal cycle sees >= 2 indications of every entity — robust
+    // against release phase and WCET-overrun backlogs without tuning.
+    sim::Duration slowest = 0;
+    for (const auto& [key, hb] : keys) {
+      slowest = std::max(slowest, hb.period);
+    }
+    auto wdg =
+        std::make_unique<bsw::WatchdogManager>(kernel_, trace_, 2 * slowest);
+    for (const auto& [key, hb] : keys) {
+      wdg->supervise({.entity = key,
+                      .min_indications = 1,
+                      .failed_cycles_tolerance = 1});
+      alive_contract_of_[key] = hb.contract;
+      checkpoint_routes_[trace_.intern_subject(key)] = wdg.get();
+    }
+    // Expiry -> rv pipeline: the watchdog is the one detector that senses
+    // the ABSENCE of writes, so a fail-silent producer (kTaskCrash) becomes
+    // a first-class "alive" violation with the producer's key as subject —
+    // blame attribution lands on the crashed instance, inside its
+    // containment domain.
+    wdg->on_violation([this](const std::string& entity, std::uint32_t count) {
+      if (registry_ == nullptr) return;
+      rv::Violation v;
+      const auto cit = alive_contract_of_.find(entity);
+      v.contract = cit != alive_contract_of_.end() ? cit->second : entity;
+      v.subject = entity;
+      v.kind = "alive";
+      v.observed = count;
+      v.bound = 1;  // min indications per supervision cycle
+      v.when = kernel_.now();
+      v.detail = "watchdog alive-supervision expiry";
+      registry_->report_external(v);
+    });
+    watchdogs_[ecu_name] = std::move(wdg);
+  }
+
+  // Checkpoint feed: a supervised key indicates liveness whenever its RTE
+  // publishes under it — including quarantined publishes (a sanctioned but
+  // alive producer keeps its heartbeat; quarantine is containment, not
+  // death). Routed on interned IDs, so unsupervised traffic costs one map
+  // miss.
+  const sim::TraceId write_id = trace_.intern_category("rte.write");
+  const sim::TraceId qdrop_id = trace_.intern_category("rte.quarantine_drop");
+  trace_.subscribe_ids(
+      [this, write_id, qdrop_id](const sim::TraceEvent& ev) {
+        if (ev.category_id != write_id && ev.category_id != qdrop_id) return;
+        const auto it = checkpoint_routes_.find(ev.subject_id);
+        if (it == checkpoint_routes_.end()) return;
+        it->second->checkpoint(trace_.subject_name(ev.subject_id));
+      });
+}
+
 void System::quarantine(const std::string& instance) {
   ctx(deployment(instance).ecu).rte->quarantine(instance);
 }
@@ -862,6 +944,7 @@ void System::start() {
     c.com->start();
   }
   if (flexray_) flexray_->start();
+  for (auto& [ecu_name, wdg] : watchdogs_) wdg->start();
 }
 
 void System::run_for(sim::Duration horizon) {

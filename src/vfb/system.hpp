@@ -17,11 +17,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/can_analysis.hpp"
 #include "analysis/rta.hpp"
 #include "bsw/com.hpp"
+#include "bsw/watchdog.hpp"
 #include "can/can_bus.hpp"
 #include "flexray/flexray_bus.hpp"
 #include "os/ecu.hpp"
@@ -94,6 +96,13 @@ class System {
   /// quarantine hook wired to this system's RTEs; callers attach escalation
   /// via monitors()->report_to(dem) / escalate_to(modes, ...).
   [[nodiscard]] rv::MonitorRegistry* monitors() { return registry_.get(); }
+  /// Watchdog manager supervising an ECU's contract heartbeats, or null —
+  /// built only when the plan sets alive_supervision (one per ECU hosting a
+  /// periodic guarantee; see DeploymentPlan::alive_supervision).
+  [[nodiscard]] bsw::WatchdogManager* watchdog(const std::string& ecu_name) {
+    const auto it = watchdogs_.find(ecu_name);
+    return it == watchdogs_.end() ? nullptr : it->second.get();
+  }
   /// Drop all future port writes of `instance` at its RTE (containment
   /// reaction; see Rte::quarantine). Safe for any deployed instance.
   void quarantine(const std::string& instance);
@@ -112,6 +121,13 @@ class System {
   void build_signals();
   void build_tasks();
   void build_monitors();
+  /// Bind watchdog alive supervision from contract periods (the fail-
+  /// silence detector; plan_.alive_supervision opt-in): per frame-sourcing
+  /// ECU one WatchdogManager whose supervised entities are the resolved
+  /// periodic-guarantee sender keys, checkpointed from their "rte.write" /
+  /// "rte.quarantine_drop" records; expiries are reported into the rv
+  /// registry as kind "alive" violations under the guaranteeing contract.
+  void build_alive_supervision();
   /// Trace subjects ("rte.write" sender keys) a contract flow of `instance`
   /// resolves to; empty when the flow names nothing routable.
   std::vector<std::string> resolve_flow(const std::string& instance,
@@ -147,6 +163,12 @@ class System {
   std::unique_ptr<can::CanBus> can_;
   std::unique_ptr<flexray::FlexRayBus> flexray_;
   std::unique_ptr<rv::MonitorRegistry> registry_;
+  /// ECU name -> its alive-supervision watchdog (empty without the opt-in).
+  std::map<std::string, std::unique_ptr<bsw::WatchdogManager>> watchdogs_;
+  /// Supervised sender key -> guaranteeing contract ("alive" violations).
+  std::map<std::string, std::string, std::less<>> alive_contract_of_;
+  /// Interned subject ID of a supervised key -> the watchdog to checkpoint.
+  std::unordered_map<sim::TraceId, bsw::WatchdogManager*> checkpoint_routes_;
   std::size_t signal_count_ = 0;
   bool started_ = false;
 

@@ -19,6 +19,7 @@
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
+#include "validation/detectability.hpp"
 #include "vfb/system.hpp"
 
 namespace {
@@ -83,6 +84,7 @@ TEST(FiScoring, DetectorOfMapsEveryMonitorKind) {
   EXPECT_EQ(fi::detector_of("latency"), fi::kDetLatency);
   EXPECT_EQ(fi::detector_of("range"), fi::kDetRange);
   EXPECT_EQ(fi::detector_of("automaton"), fi::kDetAutomaton);
+  EXPECT_EQ(fi::detector_of("alive"), fi::kDetAlive);
   EXPECT_EQ(fi::detector_of("???"), 0u);
 }
 
@@ -227,7 +229,7 @@ fi::Campaign bbw_campaign(std::size_t threads, std::size_t replicates) {
   cfg.seed = 42;
   cfg.replicates = replicates;
   cfg.threads = threads;
-  fi::Campaign campaign(fi::workloads::brake_by_wire, cfg);
+  fi::Campaign campaign([] { return fi::workloads::brake_by_wire(); }, cfg);
   // The shared grid: one representative per expressible kind; the
   // stochastic ones (probability < 1, jitter) genuinely exercise the
   // per-scenario RNG streams.
@@ -287,6 +289,92 @@ TEST(FiCampaign, ReportIsBitIdenticalAcrossThreadCounts) {
   }
   // The rendered matrix (counts + latency percentiles) is byte-identical.
   EXPECT_EQ(one.render(), four.render());
+}
+
+// --- Static detectability vs measured outcomes --------------------------------
+
+TEST(FiCrossCheck, StaticVerdictsPredictCampaignOutcomes) {
+  // The acceptance property of the detectability analysis: over the standard
+  // grid plus the fail-silent crash, zero disagreements between the static
+  // verdict and what the campaign measures. Predicted-undetectable faults
+  // must score missed; predicted-detectable ones must be detected; a
+  // predicted containment holds for every replicate.
+  const fi::ModelBundle bundle = fi::workloads::brake_by_wire();
+  std::vector<Fault> faults = fi::workloads::standard_faults();
+  faults.push_back(Fault{.kind = FaultKind::kTaskCrash, .target = "pedal"});
+
+  const auto analysis = orte::validation::analyze_detectability(
+      bundle.model, bundle.plan, bundle.model.bound_contracts(), faults);
+  ASSERT_EQ(analysis.verdicts.size(), faults.size());
+
+  fi::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.replicates = 3;
+  cfg.threads = 4;
+  fi::Campaign campaign([] { return fi::workloads::brake_by_wire(); }, cfg);
+  for (const auto& fault : faults) campaign.add_fault(fault);
+  const fi::Report report = campaign.run();
+
+  for (const auto& s : report.scenarios) {
+    if (s.baseline) continue;
+    const auto& verdict = analysis.verdicts.at((s.index - 1) / cfg.replicates);
+    if (!verdict.detectable) {
+      EXPECT_EQ(s.outcome, Outcome::kMissed)
+          << verdict.label << ": predicted undetectable but a monitor fired\n"
+          << report.render();
+      continue;
+    }
+    EXPECT_TRUE(s.outcome == Outcome::kContained ||
+                s.outcome == Outcome::kDetected)
+        << verdict.label << ": predicted detectable but scored "
+        << fi::to_string(s.outcome) << "\n"
+        << report.render();
+    if (verdict.contained) {
+      EXPECT_EQ(s.outcome, Outcome::kContained)
+          << verdict.label << ": predicted contained but a blame leaked\n"
+          << report.render();
+    }
+    if (verdict.containment_gap) {
+      EXPECT_EQ(s.outcome, Outcome::kDetected)
+          << verdict.label << ": predicted a containment gap (V14) but the "
+          << "campaign scored it contained\n"
+          << report.render();
+    }
+  }
+}
+
+TEST(FiCrossCheck, AliveSupervisionDetectsAndContainsTheCrash) {
+  // The V13/V15 fix, measured: with DeploymentPlan::alive_supervision the
+  // pedal's fail-silent crash trips the watchdog (detector "alive"), the
+  // blame lands on the pedal (contained), and the supervised baseline stays
+  // silent — the watchdog adds no spurious expiries.
+  fi::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.replicates = 3;
+  fi::Campaign campaign([] { return fi::workloads::brake_by_wire(true); },
+                        cfg);
+  campaign.add_fault(Fault{.kind = FaultKind::kTaskCrash, .target = "pedal"});
+  const fi::Report report = campaign.run();
+
+  EXPECT_EQ(report.spurious_baselines, 0u) << report.render();
+  EXPECT_EQ(report.count(Outcome::kSpurious), 0u) << report.render();
+  for (const auto& s : report.scenarios) {
+    if (s.baseline) continue;
+    EXPECT_EQ(s.outcome, Outcome::kContained) << report.render();
+    EXPECT_TRUE(s.detectors & fi::kDetAlive) << report.render();
+  }
+
+  // And the static analysis agrees on the supervised bundle.
+  const fi::ModelBundle bundle = fi::workloads::brake_by_wire(true);
+  const auto analysis = orte::validation::analyze_detectability(
+      bundle.model, bundle.plan, bundle.model.bound_contracts(),
+      {Fault{.kind = FaultKind::kTaskCrash, .target = "pedal"}});
+  ASSERT_EQ(analysis.verdicts.size(), 1u);
+  EXPECT_TRUE(analysis.verdicts.front().detectable);
+  EXPECT_TRUE(analysis.verdicts.front().contained);
+  ASSERT_FALSE(analysis.verdicts.front().observers.empty());
+  EXPECT_EQ(analysis.verdicts.front().observers.front().kind,
+            orte::validation::MonitorPlane::Kind::kAlive);
 }
 
 }  // namespace

@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "contracts/contract.hpp"
+#include "fi/fault.hpp"
+#include "fi/workloads.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
+#include "validation/detectability.hpp"
 #include "validation/sarif.hpp"
 #include "validation/validator.hpp"
 #include "vfb/model.hpp"
@@ -835,6 +838,118 @@ TEST(ValidatorV12, AutonomousSourceMakesChainLive) {
   EXPECT_FALSE(has_rule(d, "V12")) << d.render();
 }
 
+// --- V13-V15: fault detectability & fail-silence --------------------------------
+//
+// The brake-by-wire campaign workload is the canonical fixture here on
+// purpose: the same bundle feeds the E9b campaign, so these static verdicts
+// are cross-checked against measured outcomes in test_fi.
+
+TEST(ValidatorV13, UnsupervisedProducerCrashIsUndetectable) {
+  const auto bundle = orte::fi::workloads::brake_by_wire();
+  const Diagnostics d =
+      orte::validation::validate(bundle.model, bundle.plan);
+  const auto v13 = d.by_rule("V13");
+  ASSERT_FALSE(v13.empty()) << d.render();
+  EXPECT_EQ(v13.front()->severity, Severity::kWarning);
+  EXPECT_EQ(v13.front()->subject, "crash:pedal");
+  EXPECT_NE(v13.front()->message.find("no compiled runtime monitor"),
+            std::string::npos);
+  // The hint names the one-flag fix.
+  EXPECT_NE(v13.front()->hint.find("alive_supervision"), std::string::npos);
+}
+
+TEST(ValidatorV13, AliveSupervisionMakesTheCrashDetectable) {
+  const auto bundle = orte::fi::workloads::brake_by_wire(true);
+  const Diagnostics d =
+      orte::validation::validate(bundle.model, bundle.plan);
+  EXPECT_FALSE(has_rule(d, "V13")) << d.render();
+  EXPECT_FALSE(has_rule(d, "V15")) << d.render();
+}
+
+TEST(ValidatorV14, BabblerOnCanHasNoContainmentDomain) {
+  auto bundle = orte::fi::workloads::brake_by_wire();
+  // On an event-triggered bus the rogue node delays every victim frame, so
+  // latency monitors fire — but each one blames a victim, never the babbler.
+  bundle.plan.bus = BusKind::kCan;
+  const Diagnostics d =
+      orte::validation::validate(bundle.model, bundle.plan);
+  const auto v14 = d.by_rule("V14");
+  ASSERT_FALSE(v14.empty()) << d.render();
+  EXPECT_EQ(v14.front()->severity, Severity::kWarning);
+  EXPECT_EQ(v14.front()->subject, "babbling_idiot:*");
+  EXPECT_NE(v14.front()->message.find("containment domain"),
+            std::string::npos);
+}
+
+TEST(ValidatorV14, TdmaSlottingContainsTheBabblerStructurally) {
+  const auto bundle = orte::fi::workloads::brake_by_wire();
+  ASSERT_EQ(bundle.plan.bus, BusKind::kFlexRay);
+  // Structural containment: the babbler perturbs nothing, so it is inert —
+  // predicted missed, but no gap to warn about.
+  const Diagnostics d =
+      orte::validation::validate(bundle.model, bundle.plan);
+  EXPECT_FALSE(has_rule(d, "V14")) << d.render();
+}
+
+TEST(ValidatorV15, PeriodicGuaranteeWithoutWatchdogWarnsPerSenderKey) {
+  const auto bundle = orte::fi::workloads::brake_by_wire();
+  const Diagnostics d =
+      orte::validation::validate(bundle.model, bundle.plan);
+  const auto v15 = d.by_rule("V15");
+  ASSERT_EQ(v15.size(), 1u) << d.render();  // One resolved periodic sender.
+  EXPECT_EQ(v15.front()->severity, Severity::kWarning);
+  EXPECT_EQ(v15.front()->subject, "pedal.out.pos");
+  EXPECT_NE(v15.front()->message.find("implies a heartbeat"),
+            std::string::npos);
+  EXPECT_NE(v15.front()->hint.find("alive_supervision"), std::string::npos);
+}
+
+TEST(ValidatorV15, SilentWithoutAPlanOrWithRvDisabled) {
+  const auto bundle = orte::fi::workloads::brake_by_wire();
+  // No deployment plan: the detectability pass has no monitor inventory to
+  // reason about, so none of V13-V15 may fire.
+  Validator v(bundle.model);
+  for (const auto& [instance, contract] : bundle.model.bound_contracts()) {
+    v.with_contract(instance, contract);
+  }
+  const Diagnostics no_plan = v.run();
+  EXPECT_FALSE(has_rule(no_plan, "V13"));
+  EXPECT_FALSE(has_rule(no_plan, "V15"));
+
+  auto off = orte::fi::workloads::brake_by_wire();
+  off.plan.runtime_verification = false;
+  const Diagnostics rv_off = orte::validation::validate(off.model, off.plan);
+  EXPECT_FALSE(has_rule(rv_off, "V13")) << rv_off.render();
+  EXPECT_FALSE(has_rule(rv_off, "V15")) << rv_off.render();
+}
+
+TEST(Detectability, StuckAtIsObservedByBothRangePlanesAndContained) {
+  const auto bundle = orte::fi::workloads::brake_by_wire();
+  const std::vector<orte::fi::Fault> faults = {
+      {.kind = orte::fi::FaultKind::kStuckAt,
+       .target = "pedal.out.pos",
+       .value = 4000}};
+  const auto analysis = orte::validation::analyze_detectability(
+      bundle.model, bundle.plan, bundle.model.bound_contracts(), faults);
+  ASSERT_EQ(analysis.verdicts.size(), 1u);
+  const auto& v = analysis.verdicts.front();
+  EXPECT_TRUE(v.perturbs);
+  EXPECT_TRUE(v.detectable);
+  EXPECT_TRUE(v.contained);
+  EXPECT_FALSE(v.containment_gap);
+  bool saw_write = false;
+  bool saw_deliver = false;
+  for (const auto& o : v.observers) {
+    saw_write |= o.kind == orte::validation::MonitorPlane::Kind::kRangeWrite;
+    saw_deliver |=
+        o.kind == orte::validation::MonitorPlane::Kind::kRangeDeliver;
+    // Both planes blame the producer — inside the fault's domain.
+    EXPECT_EQ(o.blame, "pedal");
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_deliver);
+}
+
 // --- SARIF export ----------------------------------------------------------------
 
 std::size_t count_of(const std::string& hay, const std::string& needle) {
@@ -877,6 +992,32 @@ TEST(Sarif, EmptyReportIsStillAValidDocument) {
   const std::string sarif = orte::validation::to_sarif(Diagnostics{});
   EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
   EXPECT_EQ(count_of(sarif, "\"ruleId\""), 0u);
+}
+
+TEST(Sarif, DetectabilityRulesCarryDescriptionsLocationsAndHints) {
+  // The real pass, end to end: lint the unsupervised campaign workload and
+  // check V13/V15 survive export with their rule metadata, logical
+  // locations and fix hints intact (the CI model_lint.sarif contract).
+  auto bundle = orte::fi::workloads::brake_by_wire();
+  bundle.plan.bus = BusKind::kCan;  // Adds the V14 containment gap.
+  const std::string sarif = orte::validation::to_sarif(
+      orte::validation::validate(bundle.model, bundle.plan));
+  EXPECT_NE(sarif.find("\"id\": \"V13\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"V14\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"V15\""), std::string::npos);
+  EXPECT_NE(
+      sarif.find("Fault planes invisible to every compiled runtime monitor"),
+      std::string::npos);
+  EXPECT_NE(
+      sarif.find("Detectable faults no observing monitor blames in-domain"),
+      std::string::npos);
+  EXPECT_NE(sarif.find("Periodic guarantees without watchdog alive"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\": \"crash:pedal\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\": \"pedal.out.pos\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("alive_supervision = true"), std::string::npos);
 }
 
 }  // namespace
